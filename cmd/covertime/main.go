@@ -1,0 +1,71 @@
+// Command covertime estimates cover times for the paper's graph families.
+// Cover times govern both the paper's walk length choice (l = Θ̃(n³) from
+// the O(n³) worst case, §2.1) and Corollary 1's applicability (Õ(τ/n)
+// rounds for cover time τ): expanders and G(n,p) sit at Θ(n log n), paths
+// at Θ(n²), lollipops near the Θ(n³) worst case.
+//
+// Usage:
+//
+//	covertime -n 64 -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/walk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "covertime:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n      = flag.Int("n", 64, "number of vertices")
+		trials = flag.Int("trials", 20, "cover walks per family")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	src := prng.New(*seed)
+
+	families := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"complete", func() (*graph.Graph, error) { return graph.Complete(*n) }},
+		{"expander(8-reg)", func() (*graph.Graph, error) { return graph.Expander(*n, src.Split(1)) }},
+		{"G(n,3ln n/n)", func() (*graph.Graph, error) {
+			p := 3.0 * ln(*n) / float64(*n)
+			return graph.ErdosRenyi(*n, p, src.Split(2))
+		}},
+		{"K_{n-sqrt,sqrt}", func() (*graph.Graph, error) { return graph.UnbalancedBipartite(*n) }},
+		{"path", func() (*graph.Graph, error) { return graph.Path(*n) }},
+		{"lollipop", func() (*graph.Graph, error) { return graph.Lollipop(*n/2, *n-*n/2) }},
+	}
+
+	fmt.Printf("%-18s %8s %8s %14s %12s\n", "family", "n", "m", "cover (mean)", "cover/nlogn")
+	for i, fam := range families {
+		g, err := fam.build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", fam.name, err)
+		}
+		maxSteps := 200 * g.N() * g.N() * g.N()
+		ct, err := walk.EstimateCoverTime(g, 0, *trials, maxSteps, src.Split(uint64(100+i)))
+		if err != nil {
+			return fmt.Errorf("%s: %w", fam.name, err)
+		}
+		scale := float64(g.N()) * ln(g.N())
+		fmt.Printf("%-18s %8d %8d %14.0f %12.2f\n", fam.name, g.N(), g.M(), ct, ct/scale)
+	}
+	return nil
+}
+
+func ln(n int) float64 { return math.Log(float64(n)) }

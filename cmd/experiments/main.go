@@ -1,0 +1,26 @@
+// Command experiments runs the reproduction's evaluation suite (E1-E12,
+// see DESIGN.md for the experiment index) and prints the tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments            # CI-sized parameters (~2-3 minutes)
+//	experiments -full      # EXPERIMENTS.md parameters (~15 minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full EXPERIMENTS.md parameterization")
+	flag.Parse()
+	if err := experiments.Suite(os.Stdout, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Command spantree samples a random spanning tree of a generated graph on
+// the simulated congested clique and reports the tree and the simulated
+// round cost.
+//
+// Usage:
+//
+//	spantree -graph expander -n 64 -algo phase -seed 7
+//
+// Graphs: complete, path, cycle, star, wheel, grid, hypercube, expander,
+// er, lollipop, bipartite.
+// Algorithms: phase (Theorem 1), exact (appendix), doubling (Corollary 1),
+// aldous, wilson, mst (the biased §1.4 strawman).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spantree "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spantree:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphName = flag.String("graph", "expander", "graph family: complete|path|cycle|star|wheel|grid|hypercube|expander|er|lollipop|bipartite")
+		n         = flag.Int("n", 32, "number of vertices")
+		algo      = flag.String("algo", "phase", "sampler: phase|exact|doubling|aldous|wilson|mst")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		backend   = flag.String("backend", "fast", "matrix multiplication backend: fast|semiring3d|naive")
+		quiet     = flag.Bool("q", false, "print only the tree encoding")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*graphName, *n, *seed)
+	if err != nil {
+		return err
+	}
+
+	var (
+		tree  *spantree.Tree
+		stats *spantree.Stats
+	)
+	switch *algo {
+	case "phase":
+		tree, stats, err = spantree.Sample(g, spantree.WithSeed(*seed), spantree.WithBackend(*backend))
+	case "exact":
+		tree, stats, err = spantree.SampleExact(g, spantree.WithSeed(*seed), spantree.WithBackend(*backend))
+	case "doubling":
+		tree, stats, err = spantree.SampleLowCoverTime(g, spantree.WithSeed(*seed))
+	case "aldous":
+		tree, err = spantree.SampleAldousBroder(g, *seed)
+	case "wilson":
+		tree, err = spantree.SampleWilson(g, *seed)
+	case "mst":
+		tree, err = spantree.SampleMSTStrawman(g, *seed)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *quiet {
+		fmt.Println(tree.Encode())
+		return nil
+	}
+	fmt.Printf("graph: %s n=%d m=%d\n", *graphName, g.N(), g.M())
+	count, err := spantree.CountSpanningTrees(g)
+	if err == nil {
+		fmt.Printf("spanning trees (Matrix-Tree): %s\n", count)
+	}
+	fmt.Printf("sampled tree: %s\n", tree.Encode())
+	if stats != nil {
+		fmt.Printf("simulated rounds: %d  supersteps: %d  words: %d\n", stats.Rounds, stats.Supersteps, stats.TotalWords)
+		if stats.Phases > 0 {
+			fmt.Printf("phases: %d  levels: %d  walk steps: %d\n", stats.Phases, stats.Levels, stats.WalkSteps)
+		}
+	}
+	return nil
+}
+
+func buildGraph(name string, n int, seed uint64) (*spantree.Graph, error) {
+	switch name {
+	case "complete":
+		return spantree.Complete(n)
+	case "path":
+		return spantree.Path(n)
+	case "cycle":
+		return spantree.Cycle(n)
+	case "star":
+		return spantree.Star(n)
+	case "wheel":
+		return spantree.Wheel(n)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return spantree.Grid(side, side)
+	case "hypercube":
+		d := 1
+		for (1 << d) < n {
+			d++
+		}
+		return spantree.Hypercube(d)
+	case "expander":
+		return spantree.Expander(n, seed)
+	case "er":
+		return spantree.ErdosRenyi(n, 0.3, seed)
+	case "lollipop":
+		return spantree.Lollipop(n/2, n-n/2)
+	case "bipartite":
+		return spantree.UnbalancedBipartite(n)
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", name)
+	}
+}

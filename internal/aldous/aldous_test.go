@@ -1,0 +1,206 @@
+package aldous
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+func auditGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	// C4 plus one chord: 8 spanning trees, small enough for sharp audits,
+	// asymmetric enough to expose bias.
+	g, err := graph.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUnitEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAldousBroderUniform(t *testing.T) {
+	g := auditGraph(t)
+	src := prng.New(1)
+	res, err := spanning.Audit(g, 24000, func() (*spanning.Tree, error) {
+		return AldousBroder(g, 0, 1_000_000, src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(3) {
+		t.Errorf("Aldous-Broder audit: TV %.4f vs noise %.4f", res.TV, res.Noise)
+	}
+	if res.DistinctSeen != int(res.TreeCount) {
+		t.Errorf("saw %d of %d trees", res.DistinctSeen, res.TreeCount)
+	}
+}
+
+func TestAldousBroderStartIndependent(t *testing.T) {
+	// The Aldous-Broder theorem holds for any start vertex.
+	g := auditGraph(t)
+	src := prng.New(2)
+	res, err := spanning.Audit(g, 24000, func() (*spanning.Tree, error) {
+		return AldousBroder(g, 3, 1_000_000, src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(3) {
+		t.Errorf("audit from vertex 3: TV %.4f vs noise %.4f", res.TV, res.Noise)
+	}
+}
+
+func TestWilsonUniform(t *testing.T) {
+	g := auditGraph(t)
+	src := prng.New(3)
+	res, err := spanning.Audit(g, 24000, func() (*spanning.Tree, error) {
+		return Wilson(g, 0, src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(3) {
+		t.Errorf("Wilson audit: TV %.4f vs noise %.4f", res.TV, res.Noise)
+	}
+}
+
+func TestWilsonOnLargerGraph(t *testing.T) {
+	src := prng.New(4)
+	g, err := graph.ErdosRenyi(40, 0.2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Wilson(g, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsSpanningTreeOf(g) {
+		t.Error("Wilson produced a non-subgraph tree")
+	}
+}
+
+func TestWilsonValidation(t *testing.T) {
+	g := auditGraph(t)
+	if _, err := Wilson(g, 9, prng.New(1)); err == nil {
+		t.Error("expected error for bad root")
+	}
+	disc := graph.MustNew(4)
+	if err := disc.AddUnitEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := disc.AddUnitEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Wilson(disc, 0, prng.New(1)); err == nil {
+		t.Error("expected error for disconnected graph")
+	}
+}
+
+func TestNaiveCongestedCliqueUniformAndCostly(t *testing.T) {
+	g := auditGraph(t)
+	src := prng.New(5)
+	var totalRounds int
+	res, err := spanning.Audit(g, 6000, func() (*spanning.Tree, error) {
+		tr, sim, err := NaiveCongestedClique(g, 0, 1_000_000, src)
+		if err != nil {
+			return nil, err
+		}
+		totalRounds += sim.Rounds()
+		return tr, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass(3) {
+		t.Errorf("naive CC audit: TV %.4f vs noise %.4f", res.TV, res.Noise)
+	}
+	// Rounds must be at least the walk length, which is at least n-1.
+	if totalRounds < 6000*(g.N()-1) {
+		t.Errorf("naive CC charged %d rounds over 6000 runs; expected >= cover-time-many per run", totalRounds)
+	}
+}
+
+func TestNaiveCongestedCliqueRoundsScaleWithCoverTime(t *testing.T) {
+	src := prng.New(6)
+	// Lollipop has much larger cover time than an expander of equal size.
+	loli, err := graph.Lollipop(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := graph.Expander(16, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(g *graph.Graph) float64 {
+		var sum int
+		const reps = 30
+		for i := 0; i < reps; i++ {
+			_, sim, err := NaiveCongestedClique(g, 0, 10_000_000, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += sim.Rounds()
+		}
+		return float64(sum) / reps
+	}
+	if lr, er := avg(loli), avg(exp); lr < er {
+		t.Errorf("lollipop naive rounds %.0f below expander %.0f; cover-time ordering violated", lr, er)
+	}
+}
+
+func TestNaiveValidation(t *testing.T) {
+	g := auditGraph(t)
+	if _, _, err := NaiveCongestedClique(g, -1, 100, prng.New(1)); err == nil {
+		t.Error("expected error for bad start")
+	}
+	if _, _, err := NaiveCongestedClique(g, 0, 1, prng.New(1)); err == nil {
+		t.Error("expected error for tiny round budget")
+	}
+}
+
+// TestRandomWeightMSTBiased reproduces the paper's §1.4 observation: the
+// random-weight MST distribution is NOT uniform over spanning trees. On
+// C4 + chord the bias is large enough to fail the same audit that
+// Aldous-Broder passes.
+func TestRandomWeightMSTBiased(t *testing.T) {
+	g := auditGraph(t)
+	src := prng.New(7)
+	res, err := spanning.Audit(g, 24000, func() (*spanning.Tree, error) {
+		return RandomWeightMST(g, src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass(3) {
+		t.Errorf("random-weight MST unexpectedly passed the uniformity audit: TV %.4f noise %.4f", res.TV, res.Noise)
+	}
+	if res.TV < 0.01 {
+		t.Errorf("MST bias TV %.4f suspiciously small", res.TV)
+	}
+	t.Logf("random-weight MST bias on C4+chord: TV = %.4f (noise %.4f)", res.TV, res.Noise)
+}
+
+func TestRandomWeightMSTIsValidTree(t *testing.T) {
+	src := prng.New(8)
+	g, err := graph.ErdosRenyi(30, 0.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tr, err := RandomWeightMST(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.IsSpanningTreeOf(g) {
+			t.Fatal("MST strawman produced invalid tree")
+		}
+	}
+	disc := graph.MustNew(2)
+	if _, err := RandomWeightMST(disc, src); err == nil {
+		t.Error("expected error for disconnected graph")
+	}
+}

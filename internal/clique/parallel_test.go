@@ -1,0 +1,69 @@
+package clique
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelPathEquivalence runs the same superstep program on the
+// sequential and goroutine execution paths and checks identical delivery,
+// round charging and determinism. Run with -race to verify the concurrent
+// path is data-race free.
+func TestParallelPathEquivalence(t *testing.T) {
+	run := func(parallel bool) (int, []string) {
+		prev := forceParallel
+		forceParallel = parallel
+		defer func() { forceParallel = prev }()
+
+		s := MustNew(16)
+		transcripts := make([]string, 16)
+		// Three supersteps of all-to-all traffic with per-machine state.
+		counters := make([]int, 16)
+		for step := 0; step < 3; step++ {
+			err := s.Superstep(fmt.Sprintf("step%d", step), func(id int, in []Message) ([]Message, error) {
+				for _, m := range in {
+					counters[id] += m.Words[0].Int()
+				}
+				transcripts[id] += fmt.Sprintf("(%d:%d)", step, counters[id])
+				out := make([]Message, 0, 16)
+				for to := 0; to < 16; to++ {
+					out = append(out, Message{To: to, Words: []Word{IntWord(id + step)}})
+				}
+				return out, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Rounds(), transcripts
+	}
+	seqRounds, seqTr := run(false)
+	parRounds, parTr := run(true)
+	if seqRounds != parRounds {
+		t.Errorf("rounds differ: sequential %d vs parallel %d", seqRounds, parRounds)
+	}
+	for id := range seqTr {
+		if seqTr[id] != parTr[id] {
+			t.Errorf("machine %d transcript differs:\n  seq: %s\n  par: %s", id, seqTr[id], parTr[id])
+		}
+	}
+}
+
+// TestParallelErrorPropagation checks machine errors surface identically on
+// the goroutine path.
+func TestParallelErrorPropagation(t *testing.T) {
+	prev := forceParallel
+	forceParallel = true
+	defer func() { forceParallel = prev }()
+
+	s := MustNew(8)
+	err := s.Superstep("boom", func(id int, in []Message) ([]Message, error) {
+		if id == 5 {
+			return nil, fmt.Errorf("machine 5 exploded")
+		}
+		return nil, nil
+	})
+	if err == nil {
+		t.Fatal("expected error from machine 5")
+	}
+}

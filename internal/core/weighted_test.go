@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/aldous"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+// weightedTriangle returns a triangle with one doubled edge. Its spanning
+// trees are the three edge pairs with weights 2, 2 and 1, so the
+// footnote-1 target distribution is (0.4, 0.4, 0.2).
+func weightedTriangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.MustNew(3)
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestWeightedSampling is the footnote 1 extension: on weighted graphs the
+// phase sampler must draw trees with probability proportional to the
+// product of edge weights. Validated against exact enumeration.
+func TestWeightedSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution audit is expensive")
+	}
+	g := weightedTriangle(t)
+	cfg := Config{WalkLength: 128}
+	seed := uint64(0)
+	res, err := spanning.AuditWeighted(g, 8000, 100, func() (*spanning.Tree, error) {
+		seed++
+		tree, _, err := Sample(g, cfg, prng.New(seed))
+		return tree, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("weighted audit (phase): TV=%.4f noise=%.4f", res.TV, res.Noise)
+	if !res.Pass(3) {
+		t.Errorf("weighted audit failed: TV %.4f vs noise %.4f", res.TV, res.Noise)
+	}
+	if res.DistinctSeen != 3 {
+		t.Errorf("saw %d of 3 weighted trees", res.DistinctSeen)
+	}
+}
+
+// TestWeightedSamplingBaselines checks the classical samplers realize the
+// same weighted distribution (they are weight-aware walkers too).
+func TestWeightedSamplingBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution audit is expensive")
+	}
+	g := weightedTriangle(t)
+	baselines := []struct {
+		name string
+		draw func(seed uint64) (*spanning.Tree, error)
+	}{
+		{"aldous-broder", func(seed uint64) (*spanning.Tree, error) {
+			return aldous.AldousBroder(g, 0, 1_000_000, prng.New(seed))
+		}},
+		{"wilson", func(seed uint64) (*spanning.Tree, error) {
+			return aldous.Wilson(g, 0, prng.New(seed))
+		}},
+	}
+	for _, b := range baselines {
+		seed := uint64(3 << 20)
+		res, err := spanning.AuditWeighted(g, 40000, 100, func() (*spanning.Tree, error) {
+			seed++
+			return b.draw(seed)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		if !res.Pass(3) {
+			t.Errorf("%s weighted audit failed: TV %.4f vs noise %.4f", b.name, res.TV, res.Noise)
+		}
+	}
+}
+
+// TestWeightedLargerGraph runs the sampler on a weighted 4-cycle with a
+// heavy chord and audits against enumeration (8 trees, uneven weights).
+func TestWeightedLargerGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution audit is expensive")
+	}
+	g := graph.MustNew(4)
+	for _, e := range []struct {
+		u, v int
+		w    float64
+	}{{0, 1, 1}, {1, 2, 3}, {2, 3, 1}, {3, 0, 2}, {0, 2, 1}} {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{WalkLength: 256}
+	seed := uint64(1 << 20)
+	res, err := spanning.AuditWeighted(g, 8000, 100, func() (*spanning.Tree, error) {
+		seed++
+		tree, _, err := Sample(g, cfg, prng.New(seed))
+		return tree, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("weighted 4-cycle audit: TV=%.4f noise=%.4f distinct=%d/%d", res.TV, res.Noise, res.DistinctSeen, res.TreeCount)
+	if !res.Pass(3) {
+		t.Errorf("weighted audit failed: TV %.4f vs noise %.4f", res.TV, res.Noise)
+	}
+}

@@ -1,0 +1,203 @@
+package doubling
+
+import (
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// Reproduction finding (documented in EXPERIMENTS.md): running the doubling
+// all the way to k = 1 concentrates receive load in the late iterations.
+// Once two prefix walks with the same index end at the same vertex they are
+// merged with the *same* suffix walk, so their endpoints coincide at every
+// later iteration; the set of distinct endpoints collapses like the image
+// of an iterated random function, and with only a handful of distinct
+// (endpoint, index) hash arguments left, Lemma 10's t-wise independence
+// argument has nothing to randomize — a single machine can receive Θ(n·η)
+// words. ChainedWalk is the natural completion that preserves Theorem 2's
+// round shape: stop the doubling while k >= StopFanout (default Θ(log n)),
+// leaving every machine with k independent length-(τ/k) walks, then stitch
+// the single walk of interest by fetching one unconsumed segment per hop.
+// The stitching moves τ + O(k) words to the leader (≈ τ/n + k rounds) and
+// the segments consumed at each machine have disjoint index trees, so the
+// chained walk is a true random walk by the strong Markov property.
+
+// tagSegment carries stitched segments to the leader.
+const tagSegment = 16
+
+// ChainConfig parameterizes ChainedWalk.
+type ChainConfig struct {
+	// Doubling configures the doubling iterations.
+	Doubling Config
+	// StopFanout is the walk count per machine at which doubling stops and
+	// stitching begins (default max(4, ceil(log2 n)), rounded up to a
+	// power of two). 1 reproduces the paper's full doubling.
+	StopFanout int
+}
+
+func (c ChainConfig) withDefaults(n int) ChainConfig {
+	c.Doubling = c.Doubling.withDefaults()
+	if c.StopFanout == 0 {
+		f := intLog2Ceil(n)
+		if f < 4 {
+			f = 4
+		}
+		c.StopFanout = f
+	}
+	// Round up to a power of two so it aligns with the doubling's k.
+	p := 1
+	for p < c.StopFanout {
+		p <<= 1
+	}
+	c.StopFanout = p
+	return c
+}
+
+// ChainedWalk builds one length-tau random walk from start on the simulated
+// clique in Õ(tau/n + log n) rounds: doubling down to StopFanout walks per
+// machine, then leader-driven stitching.
+func ChainedWalk(sim *clique.Sim, g *graph.Graph, start, tau int, cfg ChainConfig, src *prng.Source) ([]int, error) {
+	n := g.N()
+	if sim.N() != n {
+		return nil, fmt.Errorf("doubling: clique size %d does not match graph size %d", sim.N(), n)
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("doubling: start %d out of range [0,%d)", start, n)
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("doubling: walk length must be >= 1, got %d", tau)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("doubling: graph must be connected")
+	}
+	cfg = cfg.withDefaults(n)
+
+	k := 1
+	for k < tau {
+		k <<= 1
+	}
+	stop := cfg.StopFanout
+	if stop > k {
+		stop = k
+	}
+
+	// Initialization + doubling down to `stop` walks per machine, exactly
+	// as in Walks.
+	walks := make([][][]int, n)
+	rngs := make([]*prng.Source, n)
+	for v := 0; v < n; v++ {
+		rngs[v] = src.Split(uint64(v))
+	}
+	for v := 0; v < n; v++ {
+		walks[v] = make([][]int, k)
+		for i := 0; i < k; i++ {
+			next, err := stepLocal(g, v, rngs[v])
+			if err != nil {
+				return nil, err
+			}
+			walks[v][i] = []int{v, next}
+		}
+	}
+	t := 8 * cfg.Doubling.C * intLog2Ceil(n)
+	if t < 2 {
+		t = 2
+	}
+	leaderRng := src.Split(1 << 60)
+	eta := 1
+	for k > stop {
+		if err := iterate(sim, g, walks, rngs, k, eta, t, cfg.Doubling, leaderRng); err != nil {
+			return nil, err
+		}
+		k /= 2
+		eta *= 2
+	}
+
+	// Stitch: the leader (machine `start`) consumes one segment per hop.
+	// Hop h takes final-index-h walks: walks with distinct final indices
+	// are built from disjoint sets of the original length-1 edges (the
+	// index trees are disjoint), so the stitched segments are mutually
+	// independent even when the walk revisits a machine — which per-machine
+	// sequential consumption would not guarantee, because same-index walks
+	// at different machines can share suffixes.
+	trajectory := []int{start}
+	cur := start
+	for hop := 0; hop < stop && len(trajectory) <= tau; hop++ {
+		var segment []int
+		idx := hop
+		err := sim.Superstep("doubling/stitch", func(id int, in []clique.Message) ([]clique.Message, error) {
+			if id != cur {
+				return nil, nil
+			}
+			if idx >= len(walks[id]) {
+				return nil, fmt.Errorf("machine %d exhausted its %d segments", id, len(walks[id]))
+			}
+			w := walks[id][idx]
+			words := make([]clique.Word, 0, len(w))
+			for _, v := range w {
+				words = append(words, clique.IntWord(v))
+			}
+			return []clique.Message{{To: start, Tag: tagSegment, Words: words}}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		err = sim.Superstep("doubling/stitch-recv", func(id int, in []clique.Message) ([]clique.Message, error) {
+			if id != start {
+				return nil, nil
+			}
+			for _, m := range in {
+				if m.Tag != tagSegment {
+					continue
+				}
+				segment = make([]int, len(m.Words))
+				for i, w := range m.Words {
+					segment[i] = w.Int()
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if segment == nil {
+			return nil, fmt.Errorf("doubling: stitch hop %d delivered no segment", hop)
+		}
+		if segment[0] != cur {
+			return nil, fmt.Errorf("doubling: stitch segment starts at %d, want %d", segment[0], cur)
+		}
+		trajectory = append(trajectory, segment[1:]...)
+		cur = trajectory[len(trajectory)-1]
+	}
+	if len(trajectory) < tau+1 {
+		return nil, fmt.Errorf("doubling: chained walk has %d steps, want %d", len(trajectory)-1, tau)
+	}
+	return trajectory[:tau+1], nil
+}
+
+// stepLocal samples one walk step (identical to walk.Step; duplicated here
+// to keep the hot initialization loop allocation-free).
+func stepLocal(g *graph.Graph, u int, src *prng.Source) (int, error) {
+	deg := g.Degree(u)
+	if deg <= 0 {
+		return 0, fmt.Errorf("doubling: vertex %d is isolated", u)
+	}
+	r := src.Float64() * deg
+	acc := 0.0
+	next := -1
+	g.VisitNeighbors(u, func(h graph.Half) {
+		if next >= 0 {
+			return
+		}
+		acc += h.Weight
+		if r < acc {
+			next = h.To
+		}
+	})
+	if next < 0 {
+		nb := g.Neighbors(u)
+		next = nb[len(nb)-1].To
+	}
+	return next, nil
+}

@@ -1,0 +1,305 @@
+// Package doubling implements Section 3 of the paper: the load-balanced
+// doubling algorithm for building random walks in the congested clique
+// (Theorem 2), and the resulting spanning tree sampler for graphs with
+// small cover times (Corollary 1).
+//
+// The classic Doubling algorithm of Bahmani, Chakrabarti and Xin starts
+// with every vertex holding tau length-1 walks and repeatedly merges
+// prefix/suffix pairs, doubling walk lengths while halving their count.
+// Implemented naively, all walks ending at a popular vertex v are sent to
+// machine v, which can receive Θ(n²·log n) bits in one merging step. The
+// paper's fix routes the meeting point of each prefix/suffix pair through a
+// t-wise independent hash (t = 8c·log n), which Lemma 10 shows bounds every
+// machine's received tuples by 16ck·log n with high probability.
+//
+// Both the balanced and the unbalanced routing are implemented; the
+// experiment suite (E3, E5) measures the round counts of Theorem 2 and the
+// per-machine load bound of Lemma 10, and contrasts them with the
+// unbalanced variant on skewed graphs.
+package doubling
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/walk"
+)
+
+// Message tags.
+const (
+	tagSeed = iota
+	tagPrefix
+	tagSuffix
+	tagMerged
+)
+
+// Config parameterizes a doubling run.
+type Config struct {
+	// Balanced selects the paper's hash-based load balancing (default
+	// true). False reproduces the unbalanced merging of [7], where walks
+	// meet at the machine of the suffix's origin vertex.
+	Balanced bool
+	// C is the constant in the t = 8c·log n independence parameter and the
+	// Lemma 10 bound (default 1).
+	C int
+}
+
+func (c Config) withDefaults() Config {
+	if c.C == 0 {
+		c.C = 1
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's setting: balanced routing with c = 1.
+func DefaultConfig() Config { return Config{Balanced: true, C: 1} }
+
+// Result holds the walks produced by a doubling run: Walks[v] is a
+// length-tau random walk (tau+1 vertices) starting at vertex v. Walks
+// originating at different vertices are generally NOT independent (they
+// share merged segments), exactly as in the paper.
+type Result struct {
+	Walks [][]int
+	// Tau is the walk length (steps).
+	Tau int
+}
+
+// Walks runs the doubling algorithm on the simulated clique, building a
+// length-tau random walk from every vertex. It returns the walks and
+// charges all communication on sim.
+func Walks(sim *clique.Sim, g *graph.Graph, tau int, cfg Config, src *prng.Source) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := g.N()
+	if sim.N() != n {
+		return nil, fmt.Errorf("doubling: clique size %d does not match graph size %d", sim.N(), n)
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("doubling: walk length must be >= 1, got %d", tau)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("doubling: graph must be connected")
+	}
+	// k = smallest power of two >= tau; eta = 1.
+	k := 1
+	for k < tau {
+		k <<= 1
+	}
+	eta := 1
+
+	// Per-machine state: walks[v][i] is W^{i+1}_v (0-indexed internally).
+	walks := make([][][]int, n)
+	rngs := make([]*prng.Source, n)
+	for v := 0; v < n; v++ {
+		rngs[v] = src.Split(uint64(v))
+	}
+
+	// Initialization: every vertex samples k length-1 walks (random
+	// incident edges) locally — no communication.
+	for v := 0; v < n; v++ {
+		walks[v] = make([][]int, k)
+		for i := 0; i < k; i++ {
+			next, err := walk.Step(g, v, rngs[v])
+			if err != nil {
+				return nil, fmt.Errorf("doubling: %w", err)
+			}
+			walks[v][i] = []int{v, next}
+		}
+	}
+
+	t := 8 * cfg.C * intLog2Ceil(n)
+	if t < 2 {
+		t = 2
+	}
+	leaderRng := src.Split(1 << 60)
+
+	for k > 1 {
+		if err := iterate(sim, g, walks, rngs, k, eta, t, cfg, leaderRng); err != nil {
+			return nil, err
+		}
+		k /= 2
+		eta *= 2
+	}
+
+	out := &Result{Walks: make([][]int, n), Tau: tau}
+	for v := 0; v < n; v++ {
+		w := walks[v][0]
+		if len(w) < tau+1 {
+			return nil, fmt.Errorf("doubling: machine %d ended with a %d-step walk, want >= %d", v, len(w)-1, tau)
+		}
+		out.Walks[v] = w[:tau+1]
+	}
+	return out, nil
+}
+
+// iterate performs one doubling iteration (steps 1-5 of the load-balanced
+// algorithm in §3).
+func iterate(sim *clique.Sim, g *graph.Graph, walks [][][]int, rngs []*prng.Source, k, eta, t int, cfg Config, leaderRng *prng.Source) error {
+	n := g.N()
+	// Step 1: machine 1 samples and broadcasts the hash seed (O(log² n)
+	// bits = t words); every machine derives the same function.
+	seed := prng.SampleKWiseSeed(t, leaderRng)
+	if err := sim.Broadcast(0, tagSeed, seedToWords(seed)); err != nil {
+		return err
+	}
+	hash, err := prng.NewKWiseHash(t, k+1, n, seed)
+	if err != nil {
+		return err
+	}
+	route := func(vertex, index int) int {
+		if cfg.Balanced {
+			return hash.Eval(vertex, index)
+		}
+		// Unbalanced variant of [7]: pairs meet at the suffix origin.
+		return vertex
+	}
+
+	// Steps 2-3: route prefixes (i <= k/2) by their endpoint and suffixes
+	// (i > k/2) by their origin, so that W^i_u (ending at z) and
+	// W^{k-i+1}_z land on the same machine.
+	err = sim.Superstep("doubling/route", func(id int, in []clique.Message) ([]clique.Message, error) {
+		msgs := make([]clique.Message, 0, k)
+		for i := 0; i < k; i++ {
+			w := walks[id][i]
+			index1 := i + 1 // the paper's 1-based walk index
+			var to, tag int
+			if index1 <= k/2 {
+				to = route(w[len(w)-1], k-index1+1)
+				tag = tagPrefix
+			} else {
+				to = route(id, index1)
+				tag = tagSuffix
+			}
+			msgs = append(msgs, clique.Message{To: to, Tag: tag, Words: encodeWalk(id, index1, w)})
+		}
+		walks[id] = nil // all walks shipped out
+		return msgs, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 4: merge. A suffix W^j_z serves every prefix W^i_u with
+	// i = k-j+1 that ends at z; the merged walk returns to the prefix
+	// origin u tagged with index i.
+	err = sim.Superstep("doubling/merge", func(id int, in []clique.Message) ([]clique.Message, error) {
+		type key struct{ origin, index int }
+		suffixes := make(map[key][]int)
+		for _, m := range in {
+			if m.Tag != tagSuffix {
+				continue
+			}
+			origin, index, w := decodeWalk(m.Words)
+			suffixes[key{origin, index}] = w
+		}
+		var msgs []clique.Message
+		for _, m := range in {
+			if m.Tag != tagPrefix {
+				continue
+			}
+			origin, index, w := decodeWalk(m.Words)
+			end := w[len(w)-1]
+			suffix, ok := suffixes[key{end, k - index + 1}]
+			if !ok {
+				return nil, fmt.Errorf("machine %d: no suffix W^%d_%d for prefix W^%d_%d", id, k-index+1, end, index, origin)
+			}
+			merged := make([]int, 0, len(w)+len(suffix)-1)
+			merged = append(merged, w...)
+			merged = append(merged, suffix[1:]...)
+			msgs = append(msgs, clique.Message{To: origin, Tag: tagMerged, Words: encodeWalk(origin, index, merged)})
+		}
+		return msgs, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 5: machines store their merged walks.
+	return sim.Superstep("doubling/store", func(id int, in []clique.Message) ([]clique.Message, error) {
+		walks[id] = make([][]int, k/2)
+		for _, m := range in {
+			if m.Tag != tagMerged {
+				continue
+			}
+			origin, index, w := decodeWalk(m.Words)
+			if origin != id {
+				return nil, fmt.Errorf("machine %d received walk for %d", id, origin)
+			}
+			if index < 1 || index > k/2 {
+				return nil, fmt.Errorf("machine %d received out-of-range walk index %d", id, index)
+			}
+			if len(w) != 2*eta+1 {
+				return nil, fmt.Errorf("machine %d received %d-step walk, want %d", id, len(w)-1, 2*eta)
+			}
+			walks[id][index-1] = w
+		}
+		for i, w := range walks[id] {
+			if w == nil {
+				return nil, fmt.Errorf("machine %d missing merged walk %d", id, i+1)
+			}
+		}
+		return nil, nil
+	})
+}
+
+// encodeWalk packs (origin, index, trajectory) into words.
+func encodeWalk(origin, index int, w []int) []clique.Word {
+	words := make([]clique.Word, 0, len(w)+2)
+	words = append(words, clique.IntWord(origin), clique.IntWord(index))
+	for _, v := range w {
+		words = append(words, clique.IntWord(v))
+	}
+	return words
+}
+
+// decodeWalk unpacks an encoded walk tuple.
+func decodeWalk(words []clique.Word) (origin, index int, w []int) {
+	origin = words[0].Int()
+	index = words[1].Int()
+	w = make([]int, len(words)-2)
+	for i := range w {
+		w[i] = words[i+2].Int()
+	}
+	return origin, index, w
+}
+
+func seedToWords(seed []uint64) []clique.Word {
+	words := make([]clique.Word, len(seed))
+	for i, s := range seed {
+		words[i] = clique.Word(s)
+	}
+	return words
+}
+
+func intLog2Ceil(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}
+
+// Lemma10Bound returns the high-probability bound 16·c·k·log n on tuples
+// received by any machine in one routing step (Lemma 10).
+func Lemma10Bound(c, k, n int) int {
+	l := intLog2Ceil(n)
+	if l < 1 {
+		l = 1
+	}
+	return 16 * c * k * l
+}
+
+// PredictedRounds returns Theorem 2's round complexity shape for a
+// length-tau walk on an n-clique: O(tau/n · log tau · log n) when tau is
+// large, O(log tau) otherwise (constants normalized to 1).
+func PredictedRounds(n, tau int) float64 {
+	logTau := math.Log2(float64(tau) + 1)
+	logN := math.Log2(float64(n) + 1)
+	perIter := float64(tau) / float64(n) * logN
+	if perIter < 1 {
+		perIter = 1
+	}
+	return perIter * logTau
+}

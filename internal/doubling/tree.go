@@ -1,0 +1,111 @@
+package doubling
+
+import (
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+	"repro/internal/walk"
+)
+
+// TreeConfig parameterizes the Corollary 1 spanning tree sampler.
+type TreeConfig struct {
+	// Doubling configures the walk construction.
+	Doubling Config
+	// SegmentLength is the walk length built per doubling run (default
+	// 4·n·ceil(log2 n), the O(n log n) cover-time scale of the corollary's
+	// target graph families).
+	SegmentLength int
+	// MaxSegments caps how many segments are concatenated while waiting
+	// for the walk to cover the graph (default 64).
+	MaxSegments int
+}
+
+func (c TreeConfig) withDefaults(n int) TreeConfig {
+	c.Doubling = c.Doubling.withDefaults()
+	if c.SegmentLength == 0 {
+		l := intLog2Ceil(n)
+		if l < 1 {
+			l = 1
+		}
+		c.SegmentLength = 4 * n * l
+	}
+	if c.MaxSegments == 0 {
+		c.MaxSegments = 64
+	}
+	return c
+}
+
+// TreeStats reports the cost of a SampleTree run.
+type TreeStats struct {
+	Rounds     int
+	Supersteps int
+	TotalWords int64
+	Segments   int
+	WalkSteps  int
+}
+
+// SampleTree samples an exactly uniform spanning tree via Aldous-Broder on
+// doubling-built walks (Corollary 1): it builds length-SegmentLength walks
+// from every vertex, follows the one starting at vertex 0, and keeps
+// extending it (from its endpoint, using the next doubling run's walks)
+// until the concatenated walk covers the graph. For a graph with cover time
+// τ this takes Õ(τ/n) simulated rounds with high probability.
+//
+// The extension-until-cover rule keeps the sampler exact: the concatenation
+// of segments is one long random walk by the Markov property, so the
+// first-visit edges are exactly Aldous-Broder's.
+func SampleTree(g *graph.Graph, cfg TreeConfig, src *prng.Source) (*spanning.Tree, *TreeStats, error) {
+	n := g.N()
+	if n == 1 {
+		tree, err := spanning.NewTree(1, nil)
+		return tree, &TreeStats{}, err
+	}
+	cfg = cfg.withDefaults(n)
+	sim := clique.MustNew(n)
+
+	cur := 0 // the walk of interest starts at vertex 0
+	visited := make([]bool, n)
+	visited[0] = true
+	remaining := n - 1
+	trajectory := []int{0}
+	segments := 0
+
+	for seg := 0; remaining > 0; seg++ {
+		segments = seg + 1
+		if seg >= cfg.MaxSegments {
+			return nil, nil, fmt.Errorf("doubling: walk failed to cover the graph within %d segments of length %d; raise SegmentLength", cfg.MaxSegments, cfg.SegmentLength)
+		}
+		segment, err := ChainedWalk(sim, g, cur, cfg.SegmentLength, ChainConfig{Doubling: cfg.Doubling}, src.Split(uint64(seg)))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range segment[1:] {
+			trajectory = append(trajectory, v)
+			if !visited[v] {
+				visited[v] = true
+				remaining--
+			}
+		}
+		cur = segment[len(segment)-1]
+	}
+
+	edges, err := walk.FirstVisitEdges(trajectory, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := spanning.NewTree(n, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &TreeStats{
+		Rounds:     sim.Rounds(),
+		Supersteps: sim.Supersteps(),
+		TotalWords: sim.TotalWords(),
+		WalkSteps:  len(trajectory) - 1,
+		Segments:   segments,
+	}
+	return tree, stats, nil
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/aldous"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/matrix"
+	"repro/internal/prng"
+	"repro/internal/schur"
+	"repro/internal/spanning"
+	"repro/internal/stats"
+)
+
+// E6Result records the Figure 2 reproduction.
+type E6Result struct {
+	SchurOK    bool
+	ShortcutOK bool
+}
+
+// E6Figure2 reproduces the paper's Figure 2 worked example: the star with
+// center C and S = {A, B, D}. The Schur complement must have uniform 1/2
+// transitions between the members of S, and the shortcut graph must send
+// every vertex to C with probability 1.
+func E6Figure2(w io.Writer) (*E6Result, error) {
+	header(w, "E6", "Figure 2: Schur complement and shortcut graphs of the worked example")
+	g := graph.Figure2Graph()
+	sub, err := schur.NewSubset(4, []int{0, 1, 3})
+	if err != nil {
+		return nil, err
+	}
+	s, err := schur.Transition(g, sub)
+	if err != nil {
+		return nil, err
+	}
+	q, err := schur.ShortcutTransition(g, sub)
+	if err != nil {
+		return nil, err
+	}
+	res := &E6Result{SchurOK: true, ShortcutOK: true}
+	names := []string{"A", "B", "D"}
+	fmt.Fprintln(w, "Schur(G,S) transitions (paper: uniform 1/2):")
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.5
+			if i == j {
+				want = 0
+			}
+			if math.Abs(s.At(i, j)-want) > 1e-12 {
+				res.SchurOK = false
+			}
+		}
+		fmt.Fprintf(w, "  %s -> {%s: %.3f, %s: %.3f, %s: %.3f}\n",
+			names[i], names[0], s.At(i, 0), names[1], s.At(i, 1), names[2], s.At(i, 2))
+	}
+	fmt.Fprintln(w, "ShortCut(G,S) transitions (paper: all mass on C):")
+	all := []string{"A", "B", "C", "D"}
+	for u := 0; u < 4; u++ {
+		if math.Abs(q.At(u, 2)-1) > 1e-12 {
+			res.ShortcutOK = false
+		}
+		fmt.Fprintf(w, "  %s -> C with probability %.3f\n", all[u], q.At(u, 2))
+	}
+	status := func(b bool) string {
+		if b {
+			return "MATCH"
+		}
+		return "MISMATCH"
+	}
+	fmt.Fprintf(w, "Schur: %s, Shortcut: %s\n", status(res.SchurOK), status(res.ShortcutOK))
+	return res, nil
+}
+
+// E7Result holds the MST strawman bias measurement.
+type E7Result struct {
+	MST     spanning.AuditResult
+	Uniform spanning.AuditResult
+}
+
+// E7MSTStrawmanBias quantifies §1.4's remark that random-weight MST does
+// NOT sample uniform spanning trees: on C4 + chord the strawman's TV from
+// uniform stays bounded away from 0 while Wilson's sits at the noise floor.
+func E7MSTStrawmanBias(w io.Writer, samples int) (*E7Result, error) {
+	header(w, "E7", "§1.4 strawman: random-weight MST is not uniform")
+	g, err := chordedCycle()
+	if err != nil {
+		return nil, err
+	}
+	seed := uint64(baseSeed)
+	mst, err := spanning.Audit(g, samples, func() (*spanning.Tree, error) {
+		seed++
+		return aldous.RandomWeightMST(g, prng.New(seed))
+	})
+	if err != nil {
+		return nil, err
+	}
+	seed = uint64(baseSeed + 1<<21)
+	uni, err := spanning.Audit(g, samples, func() (*spanning.Tree, error) {
+		seed++
+		return aldous.Wilson(g, 0, prng.New(seed))
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "%-24s %10s %10s\n", "sampler", "TV", "noise")
+	fmt.Fprintf(w, "%-24s %10.4f %10.4f  <- biased, as the paper predicts\n", "random-weight MST", mst.TV, mst.Noise)
+	fmt.Fprintf(w, "%-24s %10.4f %10.4f  <- uniform baseline", "Wilson", uni.TV, uni.Noise)
+	fmt.Fprintln(w)
+	return &E7Result{MST: mst, Uniform: uni}, nil
+}
+
+// E10Result holds the Lemma 7 precision measurement.
+type E10Result struct {
+	Exponents []int
+	Errors    []float64
+	Bounds    []float64
+	AllUnder  bool
+	AllSub    bool
+}
+
+// E10PrecisionError measures the subtractive error of truncated matrix
+// powering against Lemma 7's recurrence bound E(k) <= (n+1)E(k/2) + delta.
+func E10PrecisionError(w io.Writer, n, maxExp int, delta float64) (*E10Result, error) {
+	header(w, "E10", fmt.Sprintf("Lemma 7: truncated power error (n=%d, delta=%.1e)", n, delta))
+	g, err := expander(n, baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		return nil, err
+	}
+	exact, err := matrix.NewPowerDyadic(p, maxExp, 0)
+	if err != nil {
+		return nil, err
+	}
+	approx, err := matrix.NewPowerDyadic(p, maxExp, delta)
+	if err != nil {
+		return nil, err
+	}
+	res := &E10Result{AllUnder: true, AllSub: true}
+	bound := delta
+	fmt.Fprintf(w, "%10s %14s %14s\n", "power", "max sub error", "Lemma 7 bound")
+	for e := 0; e <= maxExp; e++ {
+		var worst float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d := exact.Pows[e].At(i, j) - approx.Pows[e].At(i, j)
+				if d < -1e-15 {
+					res.AllSub = false
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst > bound {
+			res.AllUnder = false
+		}
+		res.Exponents = append(res.Exponents, e)
+		res.Errors = append(res.Errors, worst)
+		res.Bounds = append(res.Bounds, bound)
+		fmt.Fprintf(w, "%10d %14.3e %14.3e\n", 1<<e, worst, bound)
+		bound = bound*float64(n+1) + delta
+	}
+	fmt.Fprintf(w, "error subtractive everywhere: %v; under Lemma 7 bound everywhere: %v\n", res.AllSub, res.AllUnder)
+	return res, nil
+}
+
+// E11Result holds the matching-placement equivalence measurement.
+type E11Result struct {
+	ExactTV      float64
+	MetropolisTV float64
+}
+
+// E11MatchingPlacement validates Lemma 3's mechanism: sampling a weighted
+// perfect matching between a midpoint multiset and walk positions
+// reproduces the conditional placement distribution. It draws placements
+// from the exact (JVV) and Metropolis samplers and measures their TV from
+// the enumerated target on a representative instance.
+func E11MatchingPlacement(w io.Writer, trials int) (*E11Result, error) {
+	header(w, "E11", "Lemma 3: matching-based midpoint placement distribution")
+	// A representative placement instance: midpoints {1, 2, 2} over three
+	// slots whose pair weights come from a real transition matrix square.
+	g, err := chordedCycle()
+	if err != nil {
+		return nil, err
+	}
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		return nil, err
+	}
+	p2, err := p.Pow(2)
+	if err != nil {
+		return nil, err
+	}
+	pairs := [][2]int{{0, 2}, {2, 0}, {0, 0}}
+	mids := []int{1, 2, 2}
+	wm := matrix.MustNew(3, 3)
+	for ri, x := range mids {
+		for ci, pq := range pairs {
+			wm.Set(ri, ci, p2.At(pq[0], x)*p2.At(x, pq[1]))
+		}
+	}
+	target := enumeratePlacements(wm, mids)
+	res := &E11Result{}
+	for _, s := range []matching.Sampler{matching.Exact{}, matching.Metropolis{}} {
+		emp := stats.NewEmpirical()
+		src := prng.New(baseSeed + 17)
+		for i := 0; i < trials; i++ {
+			perm, err := s.Sample(wm, src)
+			if err != nil {
+				return nil, err
+			}
+			// Record the placement as (slot -> midpoint value).
+			placed := [3]int{}
+			for ri, col := range perm {
+				placed[col] = mids[ri]
+			}
+			emp.Add(fmt.Sprint(placed))
+		}
+		var tv float64
+		for key, prob := range target {
+			tv += math.Abs(emp.Freq(key) - prob)
+		}
+		outside := 1.0
+		for key := range target {
+			outside -= emp.Freq(key)
+		}
+		if outside > 0 {
+			tv += outside
+		}
+		tv /= 2
+		if s.Name() == "exact-jvv" {
+			res.ExactTV = tv
+		} else {
+			res.MetropolisTV = tv
+		}
+		fmt.Fprintf(w, "%-14s TV from conditional target: %.4f (trials=%d)\n", s.Name(), tv, trials)
+	}
+	return res, nil
+}
+
+// enumeratePlacements computes the exact placement distribution keyed by
+// the (slot -> value) assignment.
+func enumeratePlacements(wm *matrix.Matrix, mids []int) map[string]float64 {
+	k := wm.Rows()
+	out := make(map[string]float64)
+	perm := make([]int, k)
+	used := make([]bool, k)
+	var total float64
+	var rec func(row int, weight float64)
+	rec = func(row int, weight float64) {
+		if row == k {
+			placed := [3]int{}
+			for ri, col := range perm {
+				placed[col] = mids[ri]
+			}
+			out[fmt.Sprint(placed)] += weight
+			total += weight
+			return
+		}
+		for col := 0; col < k; col++ {
+			if used[col] || wm.At(row, col) == 0 {
+				continue
+			}
+			used[col] = true
+			perm[row] = col
+			rec(row+1, weight*wm.At(row, col))
+			used[col] = false
+		}
+	}
+	rec(0, 1)
+	for key := range out {
+		out[key] /= total
+	}
+	return out
+}
+
+// E12Result summarizes the Figure 1 pipeline regeneration.
+type E12Result struct {
+	Phases          int
+	Levels          int
+	MaxMatchingSize int
+	TreeValid       bool
+}
+
+// E12Figure1Pipeline regenerates the data flow Figure 1 illustrates —
+// midpoint requests, multiset collection and matching placement — by
+// running one full sampler execution on the audit graph and reporting the
+// pipeline shape.
+func E12Figure1Pipeline(w io.Writer) (*E12Result, error) {
+	header(w, "E12", "Figure 1: midpoint placement pipeline shape")
+	g, err := chordedCycle()
+	if err != nil {
+		return nil, err
+	}
+	tree, st, err := coreSampleForE12(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &E12Result{
+		Phases:          st.Phases,
+		Levels:          st.Levels,
+		MaxMatchingSize: st.MaxMatchingSize,
+		TreeValid:       tree.IsSpanningTreeOf(g),
+	}
+	fmt.Fprintf(w, "phases=%d levels=%d max matching instance=%d tree valid=%v\n",
+		res.Phases, res.Levels, res.MaxMatchingSize, res.TreeValid)
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/aldous"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mm"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+	"repro/internal/stats"
+)
+
+// E1Result holds the round-complexity scaling measurement of Theorem 1.
+type E1Result struct {
+	Sizes  []int
+	Rounds []float64 // mean rounds per size
+	Slope  float64   // fitted exponent of rounds ~ n^slope
+}
+
+// E1MainSamplerRounds measures the main sampler's simulated rounds across
+// graph sizes and fits the growth exponent, to compare against Theorem 1's
+// Õ(n^(1/2+α)) = Õ(n^0.657). Expect the fit to land above 0.657 by the
+// polylogarithmic factors the Õ hides (the per-phase level loop costs
+// Θ(log² l) rounds).
+func E1MainSamplerRounds(w io.Writer, sizes []int, reps int, backend mm.Backend) (*E1Result, error) {
+	header(w, "E1", "Theorem 1 round scaling, backend="+backend.Name())
+	res := &E1Result{Sizes: sizes}
+	fmt.Fprintf(w, "%8s %12s %12s %10s\n", "n", "rounds", "phases", "words")
+	for i, n := range sizes {
+		var sumRounds, sumPhases float64
+		var words int64
+		for r := 0; r < reps; r++ {
+			g, err := expander(n, uint64(baseSeed+100*i+r))
+			if err != nil {
+				return nil, err
+			}
+			_, st, err := core.Sample(g, core.Config{Backend: backend}, prng.New(uint64(baseSeed+1000*i+r)))
+			if err != nil {
+				return nil, err
+			}
+			sumRounds += float64(st.Rounds)
+			sumPhases += float64(st.Phases)
+			words += st.TotalWords
+		}
+		mean := sumRounds / float64(reps)
+		res.Rounds = append(res.Rounds, mean)
+		fmt.Fprintf(w, "%8d %12.0f %12.1f %10d\n", n, mean, sumPhases/float64(reps), words/int64(reps))
+	}
+	xs := make([]float64, len(sizes))
+	for i, n := range sizes {
+		xs[i] = float64(n)
+	}
+	slope, _, err := stats.FitPowerLaw(xs, res.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	res.Slope = slope
+	fmt.Fprintf(w, "fitted exponent: %.3f (paper: 1/2 + alpha = %.3f plus polylog)\n", slope, 0.5+mm.Alpha)
+	return res, nil
+}
+
+// E2Result holds the uniformity audit of the main sampler.
+type E2Result struct {
+	Approx spanning.AuditResult
+	Exact  spanning.AuditResult
+}
+
+// E2UniformityTV audits the approximate (Theorem 1) and exact (appendix)
+// samplers against the exactly counted uniform distribution on a small
+// graph. Both should land at the sampling-noise floor.
+func E2UniformityTV(w io.Writer, samples int) (*E2Result, error) {
+	header(w, "E2", "Theorem 1 / Lemma 6: TV distance from uniform")
+	g, err := chordedCycle()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{WalkLength: 256}
+	seed := uint64(baseSeed)
+	approx, err := spanning.Audit(g, samples, func() (*spanning.Tree, error) {
+		seed++
+		tree, _, err := core.Sample(g, cfg, prng.New(seed))
+		return tree, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	seed = uint64(baseSeed + 1<<20)
+	exact, err := spanning.Audit(g, samples, func() (*spanning.Tree, error) {
+		seed++
+		tree, _, err := core.SampleExact(g, cfg, prng.New(seed))
+		return tree, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "%-22s %10s %10s %10s\n", "sampler", "TV", "noise", "verdict")
+	for _, row := range []struct {
+		name string
+		r    spanning.AuditResult
+	}{{"Theorem 1 (approx)", approx}, {"Appendix (exact)", exact}} {
+		verdict := "PASS"
+		if !row.r.Pass(3) {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%-22s %10.4f %10.4f %10s\n", row.name, row.r.TV, row.r.Noise, verdict)
+	}
+	return &E2Result{Approx: approx, Exact: exact}, nil
+}
+
+// E8Result compares the exact and approximate variants' round costs.
+type E8Result struct {
+	Sizes  []int
+	Ratio  []float64
+	Approx []float64
+	Exact  []float64
+}
+
+// E8ExactVsApprox measures the round overhead of the appendix's exact
+// variant (Õ(n^(2/3+α))) over the approximate sampler (Õ(n^(1/2+α))); the
+// paper predicts a ratio growing like n^(1/6).
+func E8ExactVsApprox(w io.Writer, sizes []int) (*E8Result, error) {
+	header(w, "E8", "Appendix: exact variant rounds vs approximate")
+	res := &E8Result{Sizes: sizes}
+	fmt.Fprintf(w, "%8s %12s %12s %8s %14s\n", "n", "approx", "exact", "ratio", "paper n^(1/6)")
+	for i, n := range sizes {
+		g, err := expander(n, uint64(baseSeed+i))
+		if err != nil {
+			return nil, err
+		}
+		_, stA, err := core.Sample(g, core.Config{}, prng.New(uint64(baseSeed+10*i)))
+		if err != nil {
+			return nil, err
+		}
+		_, stE, err := core.SampleExact(g, core.Config{}, prng.New(uint64(baseSeed+10*i+1)))
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(stE.Rounds) / float64(stA.Rounds)
+		res.Approx = append(res.Approx, float64(stA.Rounds))
+		res.Exact = append(res.Exact, float64(stE.Rounds))
+		res.Ratio = append(res.Ratio, ratio)
+		fmt.Fprintf(w, "%8d %12d %12d %8.2f %14.2f\n", n, stA.Rounds, stE.Rounds, ratio, math.Pow(float64(n), 1.0/6))
+	}
+	return res, nil
+}
+
+// E9Result holds the naive-vs-phase crossover measurement.
+type E9Result struct {
+	Graph       string
+	Sizes       []int
+	NaiveRounds []float64
+	PhaseRounds []float64
+}
+
+// E9NaiveCrossover compares the naive one-step-per-round Aldous-Broder port
+// (Θ(cover time) rounds — the bottleneck motivating the paper, §1.3)
+// against the phase algorithm on a high-cover-time family (lollipops).
+// The phase algorithm must win increasingly as n grows.
+func E9NaiveCrossover(w io.Writer, sizes []int) (*E9Result, error) {
+	header(w, "E9", "naive Θ(cover-time) port vs phase algorithm (lollipop)")
+	res := &E9Result{Graph: "lollipop"}
+	fmt.Fprintf(w, "%8s %14s %14s %10s\n", "n", "naive rounds", "phase rounds", "speedup")
+	for i, n := range sizes {
+		k := n / 2
+		g, err := graph.Lollipop(k, n-k)
+		if err != nil {
+			return nil, err
+		}
+		const reps = 3
+		var naive, phase float64
+		for r := 0; r < reps; r++ {
+			_, sim, err := aldous.NaiveCongestedClique(g, 0, 50_000_000, prng.New(uint64(baseSeed+100*i+r)))
+			if err != nil {
+				return nil, err
+			}
+			naive += float64(sim.Rounds())
+			_, st, err := core.Sample(g, core.Config{}, prng.New(uint64(baseSeed+500*i+r)))
+			if err != nil {
+				return nil, err
+			}
+			phase += float64(st.Rounds)
+		}
+		naive /= reps
+		phase /= reps
+		res.Sizes = append(res.Sizes, n)
+		res.NaiveRounds = append(res.NaiveRounds, naive)
+		res.PhaseRounds = append(res.PhaseRounds, phase)
+		fmt.Fprintf(w, "%8d %14.0f %14.0f %10.2fx\n", n, naive, phase, naive/phase)
+	}
+	return res, nil
+}

@@ -1,0 +1,205 @@
+// Package fill implements the paper's sequential top-down walk filling
+// algorithms, the conceptual core from which the distributed sampler is
+// built:
+//
+//   - SampleWalk (Outline 1, §2.1.1, Lemma 1): sample the endpoint of a
+//     length-l walk from the l-th transition matrix power, then recursively
+//     fill midpoints by Bayes' rule until every position is determined.
+//   - SampleTruncatedWalk (§2.1.2, Lemma 2): the same level-by-level
+//     filling, but after each level the partial walk is truncated at the
+//     first occurrence of the rho-th distinct vertex, so the walk ends at
+//     the stopping time τ = min(l, T_rho).
+//
+// Both operate on an arbitrary transition matrix (graph walks in phase 1,
+// Schur complement walks afterwards) through a dyadic power table. Partial
+// walks are dense grids: at the start of level i the filled positions are
+// exactly the multiples of the current spacing l/2^(i-1) up to the current
+// target length, which is the representation the paper's truncation
+// argument relies on (every truncation point is a grid index).
+package fill
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/prng"
+)
+
+// PartialWalk is a truncated dyadic-grid partial walk: Verts[j] is the
+// vertex at walk index j*Spacing. The walk's target length is
+// (len(Verts)-1)*Spacing.
+type PartialWalk struct {
+	Verts   []int
+	Spacing int64
+}
+
+// Clone returns a deep copy.
+func (w *PartialWalk) Clone() *PartialWalk {
+	v := make([]int, len(w.Verts))
+	copy(v, w.Verts)
+	return &PartialWalk{Verts: v, Spacing: w.Spacing}
+}
+
+// MidpointWeights returns the unnormalized midpoint distribution for the
+// pair (p, q) at gap delta (a power of two >= 2): weights[v] =
+// P^(delta/2)[p, v] * P^(delta/2)[v, q] — Formula (1) of the paper.
+func MidpointWeights(pd *matrix.PowerDyadic, p, q int, delta int64) ([]float64, error) {
+	if delta < 2 || delta&(delta-1) != 0 {
+		return nil, fmt.Errorf("fill: midpoint gap must be a power of two >= 2, got %d", delta)
+	}
+	half, err := pd.Power(int(delta / 2))
+	if err != nil {
+		return nil, err
+	}
+	n := half.Rows()
+	if p < 0 || p >= n || q < 0 || q >= n {
+		return nil, fmt.Errorf("fill: pair (%d,%d) out of range [0,%d)", p, q, n)
+	}
+	weights := make([]float64, n)
+	rowP := half.Row(p)
+	for v := 0; v < n; v++ {
+		weights[v] = rowP[v] * half.At(v, q)
+	}
+	return weights, nil
+}
+
+// validate checks the common preconditions of the samplers.
+func validate(pd *matrix.PowerDyadic, start int, ell int64) (int, error) {
+	if pd == nil || len(pd.Pows) == 0 {
+		return 0, fmt.Errorf("fill: nil or empty power table")
+	}
+	n := pd.Pows[0].Rows()
+	if start < 0 || start >= n {
+		return 0, fmt.Errorf("fill: start %d out of range [0,%d)", start, n)
+	}
+	if ell < 1 || ell&(ell-1) != 0 {
+		return 0, fmt.Errorf("fill: walk length must be a positive power of two, got %d", ell)
+	}
+	maxLen := int64(1) << uint(pd.MaxExp())
+	if ell > maxLen {
+		return 0, fmt.Errorf("fill: length %d exceeds power table limit %d", ell, maxLen)
+	}
+	return n, nil
+}
+
+// SampleWalk samples a uniformly distributed length-ell random walk from
+// start (Outline 1). ell must be a power of two within the table. The
+// returned trajectory has ell+1 vertices.
+func SampleWalk(pd *matrix.PowerDyadic, start int, ell int64, src *prng.Source) ([]int, error) {
+	if _, err := validate(pd, start, ell); err != nil {
+		return nil, err
+	}
+	endPow, err := pd.Power(int(ell))
+	if err != nil {
+		return nil, err
+	}
+	end, err := src.WeightedIndex(endPow.Row(start))
+	if err != nil {
+		return nil, fmt.Errorf("fill: sampling endpoint: %w", err)
+	}
+	w := &PartialWalk{Verts: []int{start, end}, Spacing: ell}
+	for w.Spacing > 1 {
+		if err := fillLevel(pd, w, src); err != nil {
+			return nil, err
+		}
+	}
+	return w.Verts, nil
+}
+
+// fillLevel inserts one midpoint between every consecutive pair of w,
+// halving the spacing.
+func fillLevel(pd *matrix.PowerDyadic, w *PartialWalk, src *prng.Source) error {
+	delta := w.Spacing
+	next := make([]int, 0, 2*len(w.Verts)-1)
+	for i := 0; i+1 < len(w.Verts); i++ {
+		p, q := w.Verts[i], w.Verts[i+1]
+		weights, err := MidpointWeights(pd, p, q, delta)
+		if err != nil {
+			return err
+		}
+		mid, err := src.WeightedIndex(weights)
+		if err != nil {
+			return fmt.Errorf("fill: no midpoint mass for pair (%d,%d) at gap %d: %w", p, q, delta, err)
+		}
+		next = append(next, p, mid)
+	}
+	next = append(next, w.Verts[len(w.Verts)-1])
+	w.Verts = next
+	w.Spacing = delta / 2
+	return nil
+}
+
+// TruncatedResult is the outcome of SampleTruncatedWalk.
+type TruncatedResult struct {
+	// Walk is the trajectory ending at the stopping time τ: the first
+	// occurrence of the rho-th distinct vertex, or the full length ell if
+	// fewer than rho distinct vertices were seen.
+	Walk []int
+	// Distinct is the number of distinct vertices in Walk.
+	Distinct int
+	// Truncated reports whether the rho budget triggered (false means the
+	// walk ran to its full target length).
+	Truncated bool
+}
+
+// SampleTruncatedWalk runs the sequential truncated filling algorithm
+// (§2.1.2): after each level the partial walk is cut at the first grid
+// position where it contains rho distinct vertices. maxPositions caps the
+// partial walk's size (a simulation-resource guard; the paper's walks are
+// bounded by the O(n^3) cover time).
+func SampleTruncatedWalk(pd *matrix.PowerDyadic, start int, ell int64, rho, maxPositions int, src *prng.Source) (*TruncatedResult, error) {
+	if _, err := validate(pd, start, ell); err != nil {
+		return nil, err
+	}
+	if rho < 1 {
+		return nil, fmt.Errorf("fill: rho must be >= 1, got %d", rho)
+	}
+	if maxPositions < 2 {
+		return nil, fmt.Errorf("fill: maxPositions must be >= 2, got %d", maxPositions)
+	}
+	endPow, err := pd.Power(int(ell))
+	if err != nil {
+		return nil, err
+	}
+	end, err := src.WeightedIndex(endPow.Row(start))
+	if err != nil {
+		return nil, fmt.Errorf("fill: sampling endpoint: %w", err)
+	}
+	w := &PartialWalk{Verts: []int{start, end}, Spacing: ell}
+	truncate(w, rho)
+	for w.Spacing > 1 {
+		if err := fillLevel(pd, w, src); err != nil {
+			return nil, err
+		}
+		truncate(w, rho)
+		if len(w.Verts) > maxPositions {
+			return nil, fmt.Errorf("fill: partial walk grew to %d positions (cap %d); raise the cap or lower the walk length", len(w.Verts), maxPositions)
+		}
+	}
+	res := &TruncatedResult{Walk: w.Verts, Distinct: distinctCount(w.Verts)}
+	res.Truncated = res.Distinct >= rho
+	return res, nil
+}
+
+// truncate cuts w at the first grid index whose prefix contains rho
+// distinct vertices (the grid-level analogue of the paper's τ).
+func truncate(w *PartialWalk, rho int) {
+	seen := make(map[int]struct{}, rho+1)
+	for i, v := range w.Verts {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			if len(seen) == rho {
+				w.Verts = w.Verts[:i+1]
+				return
+			}
+		}
+	}
+}
+
+func distinctCount(verts []int) int {
+	seen := make(map[int]struct{}, len(verts))
+	for _, v := range verts {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,262 @@
+package fill
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/prng"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+func dyadicFor(t *testing.T, g *graph.Graph, maxExp int) *matrix.PowerDyadic {
+	t.Helper()
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := matrix.NewPowerDyadic(p, maxExp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	// C4 + chord: irregular enough that errors show up.
+	g, err := graph.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUnitEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func encode(traj []int) string { return fmt.Sprint(traj) }
+
+// TestSampleWalkMatchesDirect is Lemma 1 in empirical form: the top-down
+// filler's walk distribution equals the step-by-step walk distribution.
+func TestSampleWalkMatchesDirect(t *testing.T) {
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 3)
+	const (
+		ell    = 4
+		trials = 60000
+	)
+	fillEmp := stats.NewEmpirical()
+	directEmp := stats.NewEmpirical()
+	fsrc, dsrc := prng.New(1), prng.New(2)
+	for i := 0; i < trials; i++ {
+		tr, err := SampleWalk(pd, 0, ell, fsrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) != ell+1 || tr[0] != 0 {
+			t.Fatalf("bad trajectory %v", tr)
+		}
+		fillEmp.Add(encode(tr))
+		dt, err := walk.Walk(g, 0, ell, dsrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directEmp.Add(encode(dt))
+	}
+	tv, err := stats.TVDistance(fillEmp, directEmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Support is 3^4-ish paths from 0; empirical-vs-empirical noise at 60k
+	// samples stays well under 0.03.
+	if tv > 0.03 {
+		t.Errorf("top-down walk TV from direct simulation = %.4f", tv)
+	}
+}
+
+// TestSampleWalkAdjacency checks every consecutive pair is a graph edge.
+func TestSampleWalkAdjacency(t *testing.T) {
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 5)
+	src := prng.New(3)
+	for i := 0; i < 200; i++ {
+		tr, err := SampleWalk(pd, i%4, 32, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(tr); j++ {
+			if !g.HasEdge(tr[j-1], tr[j]) {
+				t.Fatalf("non-edge %d-%d in filled walk", tr[j-1], tr[j])
+			}
+		}
+	}
+}
+
+// TestSampleTruncatedMatchesDirect is Lemma 2 in empirical form: the
+// level-by-level truncated filler has the same output distribution as
+// walking directly and stopping at τ.
+func TestSampleTruncatedMatchesDirect(t *testing.T) {
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 4)
+	const (
+		ell    = 16
+		rho    = 3
+		trials = 50000
+	)
+	fillEmp := stats.NewEmpirical()
+	directEmp := stats.NewEmpirical()
+	fsrc, dsrc := prng.New(5), prng.New(6)
+	for i := 0; i < trials; i++ {
+		res, err := SampleTruncatedWalk(pd, 0, ell, rho, 1<<20, fsrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillEmp.Add(encode(res.Walk))
+		// Direct: walk ell steps, truncate at first occurrence of the
+		// rho-th distinct vertex.
+		dt, err := walk.Walk(g, 0, ell, dsrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]struct{}{}
+		cut := len(dt)
+		for j, v := range dt {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				if len(seen) == rho {
+					cut = j + 1
+					break
+				}
+			}
+		}
+		directEmp.Add(encode(dt[:cut]))
+	}
+	tv, err := stats.TVDistance(fillEmp, directEmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.03 {
+		t.Errorf("truncated filler TV from direct simulation = %.4f", tv)
+	}
+}
+
+func TestTruncatedStopsAtRhoDistinct(t *testing.T) {
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 6)
+	src := prng.New(7)
+	for i := 0; i < 300; i++ {
+		res, err := SampleTruncatedWalk(pd, 0, 64, 3, 1<<20, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Truncated {
+			// On a connected 4-vertex graph, a 64-step walk virtually
+			// always sees 3 distinct vertices; allow the rare miss.
+			continue
+		}
+		if res.Distinct != 3 {
+			t.Fatalf("distinct = %d, want 3", res.Distinct)
+		}
+		// The last vertex must be the first occurrence of the 3rd distinct
+		// vertex: it appears nowhere earlier.
+		last := res.Walk[len(res.Walk)-1]
+		for _, v := range res.Walk[:len(res.Walk)-1] {
+			if v == last {
+				t.Fatalf("walk %v does not end at a first occurrence", res.Walk)
+			}
+		}
+	}
+}
+
+func TestTruncatedFullLengthWhenRhoUnreachable(t *testing.T) {
+	// rho larger than n: walk must run to full length.
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 3)
+	src := prng.New(8)
+	res, err := SampleTruncatedWalk(pd, 0, 8, 99, 1<<20, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated || len(res.Walk) != 9 {
+		t.Errorf("walk len %d truncated=%v, want full 9-vertex walk", len(res.Walk), res.Truncated)
+	}
+}
+
+func TestMidpointWeightsFormula(t *testing.T) {
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 2)
+	w, err := MidpointWeights(pd, 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pd.Power(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		want := p2.At(0, v) * p2.At(v, 2)
+		if w[v] != want {
+			t.Errorf("weight[%d] = %g, want %g", v, w[v], want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 3)
+	src := prng.New(9)
+	if _, err := SampleWalk(pd, -1, 4, src); err == nil {
+		t.Error("expected error for bad start")
+	}
+	if _, err := SampleWalk(pd, 0, 3, src); err == nil {
+		t.Error("expected error for non-power-of-two length")
+	}
+	if _, err := SampleWalk(pd, 0, 16, src); err == nil {
+		t.Error("expected error for length beyond table")
+	}
+	if _, err := SampleWalk(nil, 0, 4, src); err == nil {
+		t.Error("expected error for nil table")
+	}
+	if _, err := SampleTruncatedWalk(pd, 0, 4, 0, 100, src); err == nil {
+		t.Error("expected error for rho < 1")
+	}
+	if _, err := SampleTruncatedWalk(pd, 0, 4, 2, 1, src); err == nil {
+		t.Error("expected error for tiny position cap")
+	}
+	if _, err := MidpointWeights(pd, 0, 1, 3); err == nil {
+		t.Error("expected error for non-power-of-two gap")
+	}
+	if _, err := MidpointWeights(pd, 0, 9, 4); err == nil {
+		t.Error("expected error for out-of-range pair")
+	}
+}
+
+func TestEndpointDistribution(t *testing.T) {
+	// The sampled endpoint must follow P^ell[start, *] (Outline 1 step 2).
+	g := testGraph(t)
+	pd := dyadicFor(t, g, 3)
+	p8, err := pd.Power(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(10)
+	counts := make([]int, 4)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		tr, err := SampleWalk(pd, 1, 8, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[tr[len(tr)-1]]++
+	}
+	for v := 0; v < 4; v++ {
+		got := float64(counts[v]) / trials
+		want := p8.At(1, v)
+		if diff := got - want; diff > 0.01 || diff < -0.01 {
+			t.Errorf("endpoint %d: frequency %.4f vs P^8 %.4f", v, got, want)
+		}
+	}
+}

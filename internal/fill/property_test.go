@@ -1,0 +1,98 @@
+package fill
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/prng"
+)
+
+// TestSampleWalkProperty: for random graphs, starts and dyadic lengths, the
+// filled walk has the right length, starts correctly, and every consecutive
+// pair is an edge.
+func TestSampleWalkProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 4 + src.Intn(8)
+		g, err := graph.ErdosRenyi(n, 0.5, src)
+		if err != nil {
+			return true
+		}
+		p, err := g.TransitionMatrix()
+		if err != nil {
+			return false
+		}
+		maxExp := 1 + src.Intn(6)
+		pd, err := matrix.NewPowerDyadic(p, maxExp, 0)
+		if err != nil {
+			return false
+		}
+		ell := int64(1) << uint(1+src.Intn(maxExp))
+		start := src.Intn(n)
+		traj, err := SampleWalk(pd, start, ell, src)
+		if err != nil {
+			return false
+		}
+		if int64(len(traj)) != ell+1 || traj[0] != start {
+			return false
+		}
+		for i := 1; i < len(traj); i++ {
+			if !g.HasEdge(traj[i-1], traj[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTruncatedWalkProperty: the truncated walk never exceeds rho distinct
+// vertices, ends at a first occurrence when truncated, and stays a valid
+// trajectory.
+func TestTruncatedWalkProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 4 + src.Intn(8)
+		g, err := graph.ErdosRenyi(n, 0.5, src)
+		if err != nil {
+			return true
+		}
+		p, err := g.TransitionMatrix()
+		if err != nil {
+			return false
+		}
+		pd, err := matrix.NewPowerDyadic(p, 6, 0)
+		if err != nil {
+			return false
+		}
+		rho := 2 + src.Intn(4)
+		res, err := SampleTruncatedWalk(pd, src.Intn(n), 64, rho, 1<<16, src)
+		if err != nil {
+			return false
+		}
+		if res.Distinct > rho {
+			return false
+		}
+		for i := 1; i < len(res.Walk); i++ {
+			if !g.HasEdge(res.Walk[i-1], res.Walk[i]) {
+				return false
+			}
+		}
+		if res.Truncated {
+			last := res.Walk[len(res.Walk)-1]
+			for _, v := range res.Walk[:len(res.Walk)-1] {
+				if v == last {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+)
+
+// This file provides the graph families used throughout the paper's
+// narrative and our experiments:
+//
+//   - Complete, CompleteBipartite: K_n and the K_{n-sqrt(n),sqrt(n)} family
+//     the paper cites (§1.2) as dense, highly irregular with O(n log n)
+//     cover time.
+//   - ErdosRenyi with p = Omega(log n / n) and RandomRegular: the O(n log n)
+//     cover-time families of Corollary 1.
+//   - Path, Cycle, Lollipop, Barbell: high cover-time stress cases (the
+//     lollipop realizes the Theta(mn) = Theta(n^3) worst case).
+//   - Grid, Torus, Hypercube, Star, Wheel, BinaryTree: structured families
+//     for unit tests and distribution audits.
+
+// mustAdd panics on AddEdge failure; generators only produce valid edges, so
+// a failure is a bug in the generator itself, not a caller error.
+func mustAdd(g *Graph, u, v int, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(fmt.Sprintf("graph: generator produced invalid edge: %v", err))
+	}
+}
+
+// Complete returns K_n.
+func Complete(n int) (*Graph, error) {
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(g, u, v, 1)
+		}
+	}
+	return g, nil
+}
+
+// Path returns the path 0-1-...-(n-1). Cover time Theta(n^2).
+func Path(n int) (*Graph, error) {
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u+1 < n; u++ {
+		mustAdd(g, u, u+1, 1)
+	}
+	return g, nil
+}
+
+// Cycle returns the n-cycle. It requires n >= 3.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	g := MustNew(n)
+	for u := 0; u < n; u++ {
+		mustAdd(g, u, (u+1)%n, 1)
+	}
+	return g, nil
+}
+
+// Star returns the star with center 0 and n-1 leaves. It requires n >= 2.
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: star needs n >= 2, got %d", n)
+	}
+	g := MustNew(n)
+	for v := 1; v < n; v++ {
+		mustAdd(g, 0, v, 1)
+	}
+	return g, nil
+}
+
+// Wheel returns the wheel: an (n-1)-cycle plus a hub adjacent to every rim
+// vertex. It requires n >= 4.
+func Wheel(n int) (*Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("graph: wheel needs n >= 4, got %d", n)
+	}
+	g := MustNew(n)
+	rim := n - 1
+	for u := 0; u < rim; u++ {
+		mustAdd(g, u, (u+1)%rim, 1)
+		mustAdd(g, u, n-1, 1)
+	}
+	return g, nil
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	g := MustNew(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(g, id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				mustAdd(g, id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Torus returns the rows x cols torus (grid with wraparound). Requires both
+// dimensions >= 3 to stay simple.
+func Torus(rows, cols int) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs dimensions >= 3, got %dx%d", rows, cols)
+	}
+	g := MustNew(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			mustAdd(g, id(r, c), id(r, (c+1)%cols), 1)
+			mustAdd(g, id(r, c), id((r+1)%rows, c), 1)
+		}
+	}
+	return g, nil
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) (*Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("graph: hypercube dimension must be in [1,20], got %d", d)
+	}
+	n := 1 << d
+	g := MustNew(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				mustAdd(g, u, v, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// BinaryTree returns the complete binary tree on n vertices (heap indexing).
+func BinaryTree(n int) (*Graph, error) {
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v < n; v++ {
+		mustAdd(g, v, (v-1)/2, 1)
+	}
+	return g, nil
+}
+
+// CompleteBipartite returns K_{a,b} with the first a vertices on the left.
+func CompleteBipartite(a, b int) (*Graph, error) {
+	if a < 1 || b < 1 {
+		return nil, fmt.Errorf("graph: complete bipartite needs positive sides, got %d,%d", a, b)
+	}
+	g := MustNew(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			mustAdd(g, u, v, 1)
+		}
+	}
+	return g, nil
+}
+
+// UnbalancedBipartite returns K_{n-floor(sqrt(n)), floor(sqrt(n))}, the
+// paper's example (§1.2) of a dense, highly irregular graph that still has
+// O(n log n) cover time by a coupon-collector argument.
+func UnbalancedBipartite(n int) (*Graph, error) {
+	s := int(math.Floor(math.Sqrt(float64(n))))
+	if s < 1 || n-s < 1 {
+		return nil, fmt.Errorf("graph: unbalanced bipartite needs n >= 2, got %d", n)
+	}
+	return CompleteBipartite(n-s, s)
+}
+
+// Lollipop returns the lollipop graph: a clique on cliqueSize vertices with
+// a path of pathLen vertices attached. The lollipop is the classic
+// Theta(n^3) cover-time example, the worst case the paper's Theta(mn) bound
+// contemplates.
+func Lollipop(cliqueSize, pathLen int) (*Graph, error) {
+	if cliqueSize < 2 || pathLen < 1 {
+		return nil, fmt.Errorf("graph: lollipop needs clique >= 2 and path >= 1, got %d,%d", cliqueSize, pathLen)
+	}
+	n := cliqueSize + pathLen
+	g := MustNew(n)
+	for u := 0; u < cliqueSize; u++ {
+		for v := u + 1; v < cliqueSize; v++ {
+			mustAdd(g, u, v, 1)
+		}
+	}
+	for i := 0; i < pathLen; i++ {
+		u := cliqueSize + i - 1
+		if i == 0 {
+			u = cliqueSize - 1
+		}
+		mustAdd(g, u, cliqueSize+i, 1)
+	}
+	return g, nil
+}
+
+// Barbell returns two k-cliques joined by a single edge.
+func Barbell(k int) (*Graph, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("graph: barbell needs clique size >= 2, got %d", k)
+	}
+	g := MustNew(2 * k)
+	for off := 0; off <= k; off += k {
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				mustAdd(g, off+u, off+v, 1)
+			}
+		}
+	}
+	mustAdd(g, k-1, k, 1)
+	return g, nil
+}
+
+// ErdosRenyi samples G(n, p) and retries (up to 100 times) until the sample
+// is connected, which for p >= 2 ln n / n happens with overwhelming
+// probability. It returns an error if p is outside (0, 1] or connectivity is
+// never achieved.
+func ErdosRenyi(n int, p float64, src *prng.Source) (*Graph, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("graph: G(n,p) needs p in (0,1], got %g", p)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("graph: G(n,p) needs n >= 2, got %d", n)
+	}
+	const maxTries = 100
+	for try := 0; try < maxTries; try++ {
+		g := MustNew(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if src.Float64() < p {
+					mustAdd(g, u, v, 1)
+				}
+			}
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: G(%d,%g) not connected after %d attempts; p likely below the connectivity threshold", n, p, maxTries)
+}
+
+// RandomRegular samples a connected d-regular graph on n vertices. It starts
+// from a deterministic d-regular circulant and applies a long run of random
+// degree-preserving 2-opt edge switches (the standard switch Markov chain,
+// which converges to the uniform distribution over d-regular graphs). For
+// constant d >= 3 such graphs are expanders with high probability, giving
+// the O(n log n) cover-time family of Corollary 1. It requires n*d even and
+// 1 <= d < n.
+func RandomRegular(n, d int, src *prng.Source) (*Graph, error) {
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("graph: random regular needs 1 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular needs n*d even, got n=%d d=%d", n, d)
+	}
+	const maxTries = 20
+	for try := 0; try < maxTries; try++ {
+		g, err := circulant(n, d)
+		if err != nil {
+			return nil, err
+		}
+		switchEdges(g, 20*n*d, src)
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: switch chain failed to reach a connected %d-regular graph on %d vertices", d, n)
+}
+
+// circulant builds the d-regular circulant: vertex i adjacent to i±1, ...,
+// i±d/2 (mod n), plus the antipodal edge when d is odd (requires n even,
+// which the n*d-even precondition guarantees for odd d).
+func circulant(n, d int) (*Graph, error) {
+	g := MustNew(n)
+	for off := 1; off <= d/2; off++ {
+		for u := 0; u < n; u++ {
+			v := (u + off) % n
+			if !g.HasEdge(u, v) {
+				mustAdd(g, u, v, 1)
+			}
+		}
+	}
+	if d%2 == 1 {
+		for u := 0; u < n/2; u++ {
+			v := u + n/2
+			if !g.HasEdge(u, v) {
+				mustAdd(g, u, v, 1)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if g.NeighborCount(u) != d {
+			return nil, fmt.Errorf("graph: circulant construction broke regularity at vertex %d (degree %d, want %d); n=%d too small for d", u, g.NeighborCount(u), d, n)
+		}
+	}
+	return g, nil
+}
+
+// switchEdges applies attempts random 2-opt switches: pick edges {a,b} and
+// {c,e}, replace with {a,c},{b,e} when that preserves simplicity. Degrees
+// are invariant.
+func switchEdges(g *Graph, attempts int, src *prng.Source) {
+	edges := g.Edges()
+	for iter := 0; iter < attempts; iter++ {
+		i := src.Intn(len(edges))
+		j := src.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		a, b := edges[i].U, edges[i].V
+		c, e := edges[j].U, edges[j].V
+		if src.Bool() {
+			c, e = e, c
+		}
+		if a == c || a == e || b == c || b == e {
+			continue
+		}
+		if g.HasEdge(a, c) || g.HasEdge(b, e) {
+			continue
+		}
+		g.removeEdge(a, b)
+		g.removeEdge(c, e)
+		mustAdd(g, a, c, 1)
+		mustAdd(g, b, e, 1)
+		edges[i] = Edge{U: min(a, c), V: max(a, c), Weight: 1}
+		edges[j] = Edge{U: min(b, e), V: max(b, e), Weight: 1}
+	}
+}
+
+// Expander samples an 8-regular random graph, a standard constant-degree
+// expander family with O(n log n) cover time.
+func Expander(n int, src *prng.Source) (*Graph, error) {
+	d := 8
+	if n <= d {
+		return Complete(n)
+	}
+	if n*d%2 != 0 {
+		d++
+	}
+	return RandomRegular(n, d, src)
+}
+
+// Figure2Graph returns the 4-vertex worked example of the paper's Figure 2:
+// the star with center C and leaves A, B, D (vertex ids A=0, B=1, C=2, D=3).
+// With S = {A, B, D}, the caption's two stated properties pin the graph
+// down: Schur(G,S) has uniform transitions between every pair in S (a walk
+// from A is equally likely to reach B before D), and ShortCut(G,S) sends
+// every vertex to C with probability 1 (C is always visited directly before
+// any visit to S).
+func Figure2Graph() *Graph {
+	g := MustNew(4)
+	mustAdd(g, 0, 2, 1) // A-C
+	mustAdd(g, 1, 2, 1) // B-C
+	mustAdd(g, 3, 2, 1) // D-C
+	return g
+}

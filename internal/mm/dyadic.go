@@ -1,0 +1,81 @@
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/matrix"
+)
+
+// DyadicTable computes the dyadic power table P, P^2, P^4, ..., P^(2^maxExp)
+// on the simulated clique — the paper's Initialization Step (Algorithm 1
+// steps 2-3):
+//
+//	"Using the CongestedClique matrix multiplication algorithm from [17],
+//	 every Machine i computes rows P[i,*], P^2[i,*], ..., P^l[i,*].
+//	 Every Machine i sends P^k[i,j] to machine j, for all j, k."
+//
+// Each squaring is delegated to the backend (which charges its rounds), and
+// each computed power is followed by the step-3 column redistribution, a
+// perfectly balanced all-to-all (every machine sends and receives exactly
+// one row/column worth of words) charged via a real superstep.
+//
+// If delta > 0 every product is truncated down to multiples of delta,
+// exactly the round(.) fixed-point discipline of Lemma 7; the returned
+// matrices then under-approximate the true powers entrywise by at most the
+// lemma's E(k) bound.
+func DyadicTable(sim *clique.Sim, backend Backend, p *matrix.Matrix, maxExp int, delta float64) (*matrix.PowerDyadic, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("mm: nil backend")
+	}
+	if p.Rows() != p.Cols() {
+		return nil, fmt.Errorf("mm: dyadic table of non-square %dx%d matrix", p.Rows(), p.Cols())
+	}
+	if maxExp < 0 {
+		return nil, fmt.Errorf("mm: negative max exponent %d", maxExp)
+	}
+	pows := make([]*matrix.Matrix, maxExp+1)
+	cur := p.Clone()
+	if delta > 0 {
+		cur.TruncateDown(delta)
+	}
+	pows[0] = cur
+	if err := distributeColumns(sim, cur); err != nil {
+		return nil, err
+	}
+	for e := 1; e <= maxExp; e++ {
+		next, err := backend.Mul(sim, cur, cur)
+		if err != nil {
+			return nil, fmt.Errorf("mm: squaring to exponent 2^%d: %w", e, err)
+		}
+		if delta > 0 {
+			next.TruncateDown(delta)
+		}
+		pows[e] = next
+		cur = next
+		if err := distributeColumns(sim, cur); err != nil {
+			return nil, err
+		}
+	}
+	return &matrix.PowerDyadic{Pows: pows, Delta: delta}, nil
+}
+
+// distributeColumns performs the Algorithm 1 step 3 all-to-all for one
+// matrix: machine i sends entry [i,j] to machine j, a balanced exchange of
+// one word per ordered machine pair (1 round). After it, machine j holds
+// column j in addition to row j — the property Algorithm 2 step 4 relies on
+// when machine M_{p,q} asks machine j for P^(δ/2)[p,j] * P^(δ/2)[j,q].
+func distributeColumns(sim *clique.Sim, m *matrix.Matrix) error {
+	d := m.Rows()
+	return sim.Superstep("mm/column-distribute", func(id int, in []clique.Message) ([]clique.Message, error) {
+		if id >= d {
+			return nil, nil
+		}
+		row := m.Row(id)
+		msgs := make([]clique.Message, 0, d)
+		for j := 0; j < d; j++ {
+			msgs = append(msgs, clique.Message{To: j, Words: []clique.Word{clique.FloatWord(row[j])}})
+		}
+		return msgs, nil
+	})
+}

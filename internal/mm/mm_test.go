@@ -1,0 +1,221 @@
+package mm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/prng"
+)
+
+func randomStochastic(n int, src *prng.Source) *matrix.Matrix {
+	m := matrix.MustNew(n, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		row := m.Row(i)
+		for j := range row {
+			row[j] = src.Float64() + 0.01
+			s += row[j]
+		}
+		for j := range row {
+			row[j] /= s
+		}
+	}
+	return m
+}
+
+func backends() []Backend {
+	return []Backend{Naive{}, Semiring3D{}, Fast{}}
+}
+
+func TestBackendsAgreeWithLocalProduct(t *testing.T) {
+	src := prng.New(3)
+	for _, n := range []int{1, 2, 5, 16, 27, 40} {
+		a := randomStochastic(n, src)
+		b := randomStochastic(n, src)
+		want, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, be := range backends() {
+			sim := clique.MustNew(n)
+			got, err := be.Mul(sim, a, b)
+			if err != nil {
+				t.Fatalf("n=%d backend=%s: %v", n, be.Name(), err)
+			}
+			if !got.Equal(want, 1e-9) {
+				d, _ := got.MaxAbsDiff(want)
+				t.Errorf("n=%d backend=%s: product differs from local (max diff %g)", n, be.Name(), d)
+			}
+		}
+	}
+}
+
+func TestBackendsWithMoreMachinesThanDim(t *testing.T) {
+	// Schur phases multiply |S| x |S| matrices on the full n-clique.
+	src := prng.New(4)
+	a := randomStochastic(10, src)
+	b := randomStochastic(10, src)
+	want, _ := a.Mul(b)
+	for _, be := range backends() {
+		sim := clique.MustNew(64)
+		got, err := be.Mul(sim, a, b)
+		if err != nil {
+			t.Fatalf("backend=%s: %v", be.Name(), err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Errorf("backend=%s: wrong product with idle machines", be.Name())
+		}
+	}
+}
+
+func TestBackendDimValidation(t *testing.T) {
+	sim := clique.MustNew(4)
+	a := matrix.MustNew(2, 3)
+	b := matrix.MustNew(3, 3)
+	for _, be := range backends() {
+		if _, err := be.Mul(sim, a, b); err == nil {
+			t.Errorf("backend=%s: expected error for non-square input", be.Name())
+		}
+		big := matrix.MustNew(8, 8)
+		if _, err := be.Mul(sim, big, big); err == nil {
+			t.Errorf("backend=%s: expected error for dim > clique size", be.Name())
+		}
+	}
+}
+
+func TestRoundScalingOrdering(t *testing.T) {
+	// For large n the round cost must order fast << 3D << naive, matching
+	// n^0.157 vs n^(1/3) vs n.
+	src := prng.New(9)
+	n := 64
+	a := randomStochastic(n, src)
+	b := randomStochastic(n, src)
+	rounds := map[string]int{}
+	for _, be := range backends() {
+		sim := clique.MustNew(n)
+		if _, err := be.Mul(sim, a, b); err != nil {
+			t.Fatal(err)
+		}
+		rounds[be.Name()] = sim.Rounds()
+	}
+	if !(rounds["fast"] < rounds["semiring3d"] && rounds["semiring3d"] < rounds["naive"]) {
+		t.Errorf("round ordering violated: %v", rounds)
+	}
+	if rounds["naive"] < n/2 {
+		t.Errorf("naive rounds %d suspiciously below Theta(n)=%d", rounds["naive"], n)
+	}
+}
+
+func TestSemiring3DRoundsSublinear(t *testing.T) {
+	// Rounds(n)/n -> 0; at n=125 (q=5, perfect cube) the 3D algorithm
+	// should stay well under n/2 rounds.
+	src := prng.New(11)
+	n := 125
+	a := randomStochastic(n, src)
+	b := randomStochastic(n, src)
+	sim := clique.MustNew(n)
+	if _, err := (Semiring3D{}).Mul(sim, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Rounds() >= n/2 {
+		t.Errorf("3D rounds = %d at n=%d, expected clearly sublinear", sim.Rounds(), n)
+	}
+	t.Logf("3D rounds at n=125: %d (n^(1/3)=5)", sim.Rounds())
+}
+
+func TestFastChargesPredictedRounds(t *testing.T) {
+	src := prng.New(13)
+	n := 32
+	a := randomStochastic(n, src)
+	sim := clique.MustNew(n)
+	if _, err := (Fast{}).Mul(sim, a, a); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Rounds() != RoundsFast(n) {
+		t.Errorf("fast charged %d rounds, want %d", sim.Rounds(), RoundsFast(n))
+	}
+	want := int(math.Ceil(math.Pow(32, Alpha)))
+	if RoundsFast(32) != want {
+		t.Errorf("RoundsFast(32) = %d, want %d", RoundsFast(32), want)
+	}
+}
+
+func TestDyadicTableMatchesSequential(t *testing.T) {
+	g, err := graph.Lollipop(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := clique.MustNew(g.N())
+	table, err := DyadicTable(sim, Fast{}, p, 5, 0)
+	if err != nil {
+		t.Fatalf("DyadicTable: %v", err)
+	}
+	want, err := matrix.NewPowerDyadic(p, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e <= 5; e++ {
+		if !table.Pows[e].Equal(want.Pows[e], 1e-9) {
+			t.Errorf("power 2^%d differs from sequential table", e)
+		}
+	}
+	if sim.Rounds() == 0 {
+		t.Error("dyadic table charged no rounds")
+	}
+}
+
+func TestDyadicTableTruncation(t *testing.T) {
+	src := prng.New(17)
+	p := randomStochastic(8, src)
+	sim := clique.MustNew(8)
+	const delta = 1e-6
+	table, err := DyadicTable(sim, Fast{}, p, 4, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := matrix.NewPowerDyadic(p, 4, 0)
+	for e := 0; e <= 4; e++ {
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				d := exact.Pows[e].At(i, j) - table.Pows[e].At(i, j)
+				if d < -1e-12 {
+					t.Fatalf("power 2^%d entry (%d,%d): truncated table exceeds exact", e, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDyadicTableValidation(t *testing.T) {
+	sim := clique.MustNew(4)
+	p := matrix.MustNew(2, 3)
+	if _, err := DyadicTable(sim, Fast{}, p, 2, 0); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	sq := matrix.Identity(2)
+	if _, err := DyadicTable(sim, Fast{}, sq, -1, 0); err == nil {
+		t.Error("expected error for negative exponent")
+	}
+	if _, err := DyadicTable(sim, nil, sq, 1, 0); err == nil {
+		t.Error("expected error for nil backend")
+	}
+}
+
+func BenchmarkSemiring3D64(b *testing.B) {
+	src := prng.New(1)
+	m := randomStochastic(64, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := clique.MustNew(64)
+		if _, err := (Semiring3D{}).Mul(sim, m, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

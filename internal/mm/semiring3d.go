@@ -1,0 +1,259 @@
+package mm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clique"
+	"repro/internal/matrix"
+)
+
+// Message tags used by the 3D algorithm's supersteps.
+const (
+	tagA = iota
+	tagB
+	tagPart
+	tagC
+)
+
+// Semiring3D is the communication-faithful Theta(n^(1/3))-round semiring
+// matrix multiplication of Censor-Hillel et al. [17]. Machines are arranged
+// as a q x q x q cube (q = floor(N^(1/3))); matrices are split into q x q
+// grids of b x b blocks (b = ceil(d/q)). Machine (i,j,k) receives block
+// A_{i,k} and block B_{k,j} (each machine ships O(q^2 b) = O(n^(4/3)) words,
+// i.e. O(n^(1/3)) rounds), computes the partial product A_{i,k}*B_{k,j},
+// and the k-dimension is reduced by splitting each partial block into q row
+// slices so that no machine receives more than O(n^(4/3)) words. The
+// words are actually routed through the simulator, so the charged rounds
+// are the algorithm's real load, not a formula.
+type Semiring3D struct{}
+
+// Name implements Backend.
+func (Semiring3D) Name() string { return "semiring3d" }
+
+// CostRounds implements Backend: two O(n^(4/3)/n) = O(n^(1/3)) routing
+// phases plus two constant-round ones.
+func (Semiring3D) CostRounds(d int) int {
+	q := int(math.Cbrt(float64(d)) + 1e-9)
+	if q < 1 {
+		q = 1
+	}
+	return 3*q + 2
+}
+
+// Mul implements Backend.
+func (Semiring3D) Mul(sim *clique.Sim, a, b *matrix.Matrix) (*matrix.Matrix, error) {
+	d, err := checkDims(sim, a, b)
+	if err != nil {
+		return nil, err
+	}
+	q := int(math.Cbrt(float64(sim.N())) + 1e-9)
+	if q < 1 {
+		q = 1
+	}
+	if q > d {
+		q = d
+	}
+	bs := (d + q - 1) / q // block size
+	rowsPerSlice := (bs + q - 1) / q
+	cube := func(i, j, k int) int { return (i*q+j)*q + k }
+
+	// Superstep 1: row holders scatter block segments to cube machines.
+	err = sim.Superstep("mm/3d/distribute", func(id int, in []clique.Message) ([]clique.Message, error) {
+		if id >= d {
+			return nil, nil
+		}
+		r := id
+		var msgs []clique.Message
+		ar, br := a.Row(r), b.Row(r)
+		blockOf := r / bs
+		for seg := 0; seg < q; seg++ {
+			lo := seg * bs
+			if lo >= d {
+				break
+			}
+			hi := lo + bs
+			if hi > d {
+				hi = d
+			}
+			// A[r][lo:hi] is part of block A_{blockOf, seg}; needed by
+			// machines (blockOf, j, seg) for every j.
+			wordsA := make([]clique.Word, 0, hi-lo+1)
+			wordsA = append(wordsA, clique.IntWord(r))
+			for _, v := range ar[lo:hi] {
+				wordsA = append(wordsA, clique.FloatWord(v))
+			}
+			for j := 0; j < q; j++ {
+				msgs = append(msgs, clique.Message{To: cube(blockOf, j, seg), Tag: tagA, Words: wordsA})
+			}
+			// B[r][lo:hi] is part of block B_{blockOf, seg}; needed by
+			// machines (i, seg, blockOf) for every i.
+			wordsB := make([]clique.Word, 0, hi-lo+1)
+			wordsB = append(wordsB, clique.IntWord(r))
+			for _, v := range br[lo:hi] {
+				wordsB = append(wordsB, clique.FloatWord(v))
+			}
+			for i := 0; i < q; i++ {
+				msgs = append(msgs, clique.Message{To: cube(i, seg, blockOf), Tag: tagB, Words: wordsB})
+			}
+		}
+		return msgs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Superstep 2: cube machines assemble their blocks, multiply, and
+	// scatter row slices of the partial product along the k dimension.
+	err = sim.Superstep("mm/3d/multiply", func(id int, in []clique.Message) ([]clique.Message, error) {
+		if id >= q*q*q {
+			return nil, nil
+		}
+		i := id / (q * q)
+		j := (id / q) % q
+		k := id % q
+		ablk := make([]float64, bs*bs)
+		bblk := make([]float64, bs*bs)
+		for _, m := range in {
+			r := m.Words[0].Int()
+			switch m.Tag {
+			case tagA:
+				lr := r - i*bs
+				if lr < 0 || lr >= bs {
+					return nil, fmt.Errorf("mm: stray A row %d at cube (%d,%d,%d)", r, i, j, k)
+				}
+				for c, w := range m.Words[1:] {
+					ablk[lr*bs+c] = w.Float()
+				}
+			case tagB:
+				lr := r - k*bs
+				if lr < 0 || lr >= bs {
+					return nil, fmt.Errorf("mm: stray B row %d at cube (%d,%d,%d)", r, i, j, k)
+				}
+				for c, w := range m.Words[1:] {
+					bblk[lr*bs+c] = w.Float()
+				}
+			default:
+				return nil, fmt.Errorf("mm: unexpected tag %d in multiply step", m.Tag)
+			}
+		}
+		// part = ablk * bblk, (bs x bs), ikj order.
+		part := make([]float64, bs*bs)
+		for r := 0; r < bs; r++ {
+			for kk := 0; kk < bs; kk++ {
+				av := ablk[r*bs+kk]
+				if av == 0 {
+					continue
+				}
+				bRow := bblk[kk*bs:]
+				pRow := part[r*bs:]
+				for c := 0; c < bs; c++ {
+					pRow[c] += av * bRow[c]
+				}
+			}
+		}
+		// Scatter slice s (local rows [s*rowsPerSlice, ...)) to cube(i,j,s).
+		var msgs []clique.Message
+		for s := 0; s < q; s++ {
+			lo := s * rowsPerSlice
+			if lo >= bs {
+				break
+			}
+			hi := lo + rowsPerSlice
+			if hi > bs {
+				hi = bs
+			}
+			words := make([]clique.Word, 0, (hi-lo)*bs+1)
+			words = append(words, clique.IntWord(lo))
+			for _, v := range part[lo*bs : hi*bs] {
+				words = append(words, clique.FloatWord(v))
+			}
+			msgs = append(msgs, clique.Message{To: cube(i, j, s), Tag: tagPart, Words: words})
+		}
+		return msgs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Superstep 3: sum the q partial slices and forward finished rows to
+	// their global row holders.
+	err = sim.Superstep("mm/3d/reduce", func(id int, in []clique.Message) ([]clique.Message, error) {
+		if id >= q*q*q {
+			return nil, nil
+		}
+		i := id / (q * q)
+		j := (id / q) % q
+		s := id % q
+		lo := s * rowsPerSlice
+		if lo >= bs {
+			return nil, nil
+		}
+		hi := lo + rowsPerSlice
+		if hi > bs {
+			hi = bs
+		}
+		sum := make([]float64, (hi-lo)*bs)
+		for _, m := range in {
+			if m.Tag != tagPart {
+				return nil, fmt.Errorf("mm: unexpected tag %d in reduce step", m.Tag)
+			}
+			if m.Words[0].Int() != lo {
+				return nil, fmt.Errorf("mm: slice offset mismatch %d vs %d", m.Words[0].Int(), lo)
+			}
+			for x, w := range m.Words[1:] {
+				sum[x] += w.Float()
+			}
+		}
+		// Local row lr in [lo, hi) is global row i*bs + lr; its column range
+		// is [j*bs, j*bs+bs) clipped to d.
+		var msgs []clique.Message
+		for lr := lo; lr < hi; lr++ {
+			gr := i*bs + lr
+			if gr >= d {
+				break
+			}
+			cLo := j * bs
+			if cLo >= d {
+				continue
+			}
+			cHi := cLo + bs
+			if cHi > d {
+				cHi = d
+			}
+			words := make([]clique.Word, 0, cHi-cLo+1)
+			words = append(words, clique.IntWord(cLo))
+			for c := cLo; c < cHi; c++ {
+				words = append(words, clique.FloatWord(sum[(lr-lo)*bs+(c-cLo)]))
+			}
+			msgs = append(msgs, clique.Message{To: gr, Tag: tagC, Words: words})
+		}
+		return msgs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Superstep 4: row holders assemble their row of the product.
+	out := matrix.MustNew(d, d)
+	err = sim.Superstep("mm/3d/collect", func(id int, in []clique.Message) ([]clique.Message, error) {
+		if id >= d {
+			return nil, nil
+		}
+		row := out.Row(id)
+		for _, m := range in {
+			if m.Tag != tagC {
+				return nil, fmt.Errorf("mm: unexpected tag %d in collect step", m.Tag)
+			}
+			cLo := m.Words[0].Int()
+			for x, w := range m.Words[1:] {
+				row[cLo+x] = w.Float()
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package prng
+
+import "fmt"
+
+// Alias is a Walker alias table for O(1) repeated sampling from a fixed
+// discrete distribution. Construction is O(n).
+//
+// The congested clique sampler draws many midpoints from the same
+// (start, end)-pair distribution within one level (Algorithm 2 step 5);
+// machines build one alias table per pair and then sample each midpoint in
+// constant time.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from non-negative, not-necessarily
+// normalized weights. It returns an error for an empty, negative or all-zero
+// weight vector.
+func NewAlias(w []float64) (*Alias, error) {
+	n := len(w)
+	if n == 0 {
+		return nil, fmt.Errorf("prng: alias table over empty support")
+	}
+	var total float64
+	for i, x := range w {
+		if x < 0 {
+			return nil, fmt.Errorf("prng: negative weight %g at index %d", x, i)
+		}
+		total += x
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("prng: alias weights sum to zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, x := range w {
+		scaled[i] = x * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Len reports the support size of the table.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one index from the table's distribution using src.
+func (a *Alias) Sample(src *Source) int {
+	i := src.Intn(len(a.prob))
+	if src.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

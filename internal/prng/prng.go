@@ -1,0 +1,113 @@
+// Package prng provides the deterministic randomness substrate used by every
+// algorithm in this repository.
+//
+// All samplers, simulators and experiments draw their randomness from a
+// seeded, splittable Source so that every test, benchmark and experiment run
+// is exactly reproducible. The package also implements the t-wise independent
+// polynomial hash family that the paper's load-balanced doubling algorithm
+// (Section 3, footnote 4) relies on, and the weighted-sampling primitives
+// (linear and alias-table) used for midpoint and edge sampling.
+package prng
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Source is a deterministic, splittable pseudo-random source.
+//
+// A Source is NOT safe for concurrent use; concurrent consumers (for example
+// the per-machine programs of the congested clique simulator) must each own a
+// Source obtained via Split, which yields statistically independent streams.
+type Source struct {
+	rng  *rand.Rand
+	seed uint64
+}
+
+// New returns a Source seeded with seed. Two Sources built from the same seed
+// produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{
+		rng:  rand.New(rand.NewPCG(seed, splitMix64(seed+0x9e3779b97f4a7c15))),
+		seed: seed,
+	}
+}
+
+// Split derives an independent child Source identified by label. Splitting is
+// deterministic: the same (parent seed, label) pair always yields the same
+// child stream, and distinct labels yield decorrelated streams.
+func (s *Source) Split(label uint64) *Source {
+	child := splitMix64(s.seed ^ splitMix64(label+0x632be59bd9b4e019))
+	return New(child)
+}
+
+// Seed reports the seed this Source was constructed with.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Uint64 returns a uniformly random 64-bit value.
+func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, mirroring
+// math/rand/v2; callers are expected to validate n at their own API boundary.
+func (s *Source) Intn(n int) int { return s.rng.IntN(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return int64(s.rng.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool { return s.rng.Uint64()&1 == 1 }
+
+// splitMix64 is the SplitMix64 finalizer, used to derive decorrelated seeds.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// WeightedIndex samples an index i with probability w[i] / sum(w) from a
+// slice of non-negative, not-necessarily-normalized weights. It returns an
+// error if the weights are empty, contain a negative entry, or sum to zero.
+//
+// This is the "sample from an unnormalized distribution" primitive the paper
+// uses for midpoint generation (Algorithm 2 step 5) and first-visit edge
+// sampling (Algorithm 4 step 7).
+func (s *Source) WeightedIndex(w []float64) (int, error) {
+	if len(w) == 0 {
+		return 0, fmt.Errorf("prng: weighted sample over empty support")
+	}
+	var total float64
+	for i, x := range w {
+		if x < 0 {
+			return 0, fmt.Errorf("prng: negative weight %g at index %d", x, i)
+		}
+		total += x
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("prng: weights sum to zero")
+	}
+	r := s.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if r < acc {
+			return i, nil
+		}
+	}
+	// Floating point slack: fall back to the last positive-weight index.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("prng: unreachable weighted sample state")
+}

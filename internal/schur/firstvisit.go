@@ -1,0 +1,80 @@
+package schur
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/prng"
+)
+
+// SampleFirstVisitEdge implements the per-vertex sampling step of
+// Algorithm 4: given that the walk on Schur(G, S) visited vertex v for the
+// first time with prev as the preceding walk vertex, sample the edge (x, v)
+// of G by which the underlying G-walk first entered v.
+//
+// By Bayes' rule (§2.2), x is a G-neighbor of v drawn with unnormalized
+// probability Q[prev, x] * w(x,v) / degS(x), where Q is the shortcut
+// transition matrix and degS(x) the weight from x into S. It returns the
+// sampled neighbor x.
+func SampleFirstVisitEdge(g *graph.Graph, sub *Subset, q *matrix.Matrix, prev, v int, src *prng.Source) (int, error) {
+	if v < 0 || v >= g.N() || prev < 0 || prev >= g.N() {
+		return 0, fmt.Errorf("schur: vertices (%d, %d) out of range [0,%d)", prev, v, g.N())
+	}
+	if !sub.Contains(v) {
+		return 0, fmt.Errorf("schur: first-visit target %d is not in S", v)
+	}
+	neighbors := g.Neighbors(v)
+	if len(neighbors) == 0 {
+		return 0, fmt.Errorf("schur: vertex %d has no neighbors", v)
+	}
+	weights := make([]float64, len(neighbors))
+	for i, h := range neighbors {
+		x := h.To
+		degS := weightToSubset(g, sub, x)
+		if degS <= 0 {
+			// x is adjacent to v ∈ S, so degS(x) ≥ w(x,v) > 0 always.
+			return 0, fmt.Errorf("schur: neighbor %d of %d has degS = 0 despite the edge into S", x, v)
+		}
+		weights[i] = q.At(prev, x) * h.Weight / degS
+	}
+	idx, err := src.WeightedIndex(weights)
+	if err != nil {
+		return 0, fmt.Errorf("schur: no mass on any first-visit edge into %d from context %d: %w", v, prev, err)
+	}
+	return neighbors[idx].To, nil
+}
+
+// FirstVisitEdgeDistribution returns the exact conditional distribution over
+// G-neighbors x of v used by SampleFirstVisitEdge, normalized. It is used by
+// tests and by experiment E6/E11 audits to compare against brute-force
+// enumeration.
+func FirstVisitEdgeDistribution(g *graph.Graph, sub *Subset, q *matrix.Matrix, prev, v int) (map[int]float64, error) {
+	if !sub.Contains(v) {
+		return nil, fmt.Errorf("schur: first-visit target %d is not in S", v)
+	}
+	out := make(map[int]float64)
+	var total float64
+	var visitErr error
+	g.VisitNeighbors(v, func(h graph.Half) {
+		x := h.To
+		degS := weightToSubset(g, sub, x)
+		if degS <= 0 {
+			visitErr = fmt.Errorf("schur: neighbor %d of %d has degS = 0", x, v)
+			return
+		}
+		w := q.At(prev, x) * h.Weight / degS
+		out[x] = w
+		total += w
+	})
+	if visitErr != nil {
+		return nil, visitErr
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("schur: zero total mass for first-visit edges into %d", v)
+	}
+	for x := range out {
+		out[x] /= total
+	}
+	return out, nil
+}

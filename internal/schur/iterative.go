@@ -1,0 +1,134 @@
+package schur
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// This file implements the paper's own route to the derivative graphs
+// (Corollaries 2 and 3): instead of solving the absorbing-chain system
+// directly, build the augmented absorbing chain R on two copies of V and
+// raise it to a large power by repeated squaring — each squaring being one
+// congested clique matrix multiplication. The exact solvers in schur.go are
+// the ground truth these iterative versions converge to; the error after
+// 2^squarings steps is geometric in the chain's escape probability, matching
+// the corollaries' O(n^3 log(1/δ)) step prescription.
+
+// IterativeShortcutTransition computes Q = ShortCut(G, S)'s transition
+// matrix via Corollary 2's augmented chain. States are L ∪ R where L holds
+// walking copies u' and R absorbing copies u”:
+//
+//	R[u'', u''] = 1
+//	R[u', v'] = P[u,v]           if v ∉ S
+//	R[u', u''] = Σ_{v∈S} P[u,v]
+//
+// Then Q[u,v] = lim_k R^k[u', v”]; we return R^(2^squarings)[u', v”].
+func IterativeShortcutTransition(g *graph.Graph, sub *Subset, squarings int) (*matrix.Matrix, error) {
+	if sub.N() != g.N() {
+		return nil, fmt.Errorf("schur: subset universe %d does not match graph size %d", sub.N(), g.N())
+	}
+	if squarings < 0 {
+		return nil, fmt.Errorf("schur: negative squaring count %d", squarings)
+	}
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	r := matrix.MustNew(2*n, 2*n)
+	for u := 0; u < n; u++ {
+		r.Set(n+u, n+u, 1)
+		var absorb float64
+		for v := 0; v < n; v++ {
+			pv := p.At(u, v)
+			if pv == 0 {
+				continue
+			}
+			if sub.Contains(v) {
+				absorb += pv
+			} else {
+				r.Set(u, v, pv)
+			}
+		}
+		r.Set(u, n+u, absorb)
+	}
+	for i := 0; i < squarings; i++ {
+		next, err := r.Mul(r)
+		if err != nil {
+			return nil, err
+		}
+		r = next
+	}
+	q := matrix.MustNew(n, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			q.Set(u, v, r.At(u, n+v))
+		}
+	}
+	return q, nil
+}
+
+// IterativeTransition computes the Schur complement walk matrix S via
+// Corollary 3: S[u,v] ∝ (Q R')[u,v] for u ≠ v in S, where R' routes an
+// S-entering step from x to a specific S-neighbor:
+//
+//	R'[x, v] = w(x,v) / degS(x)  if {x,v} ∈ E and v ∈ S
+//	R'[x, x] = 1                 if degS(x) = 0
+//
+// and each row u is normalized by M_u = 1 / (1 - (QR')[u,u]), removing
+// self-returns.
+func IterativeTransition(g *graph.Graph, sub *Subset, squarings int) (*matrix.Matrix, error) {
+	q, err := IterativeShortcutTransition(g, sub, squarings)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	rp := matrix.MustNew(n, n)
+	for x := 0; x < n; x++ {
+		degS := weightToSubset(g, sub, x)
+		if degS <= 0 {
+			rp.Set(x, x, 1)
+			continue
+		}
+		g.VisitNeighbors(x, func(h graph.Half) {
+			if sub.Contains(h.To) {
+				rp.Set(x, h.To, h.Weight/degS)
+			}
+		})
+	}
+	qr, err := q.Mul(rp)
+	if err != nil {
+		return nil, err
+	}
+	k := sub.Size()
+	if k < 2 {
+		return nil, fmt.Errorf("schur: transition matrix of a single-vertex subset is empty")
+	}
+	out := matrix.MustNew(k, k)
+	for i, u := range sub.vertices {
+		den := 1 - qr.At(u, u)
+		if den <= 1e-13 {
+			return nil, fmt.Errorf("schur: iterative normalization degenerate at vertex %d", u)
+		}
+		for j, v := range sub.vertices {
+			if i == j {
+				continue
+			}
+			out.Set(i, j, qr.At(u, v)/den)
+		}
+	}
+	return out, nil
+}
+
+// weightToSubset returns degS(x): the total weight from x into S.
+func weightToSubset(g *graph.Graph, sub *Subset, x int) float64 {
+	var s float64
+	g.VisitNeighbors(x, func(h graph.Half) {
+		if sub.Contains(h.To) {
+			s += h.Weight
+		}
+	})
+	return s
+}

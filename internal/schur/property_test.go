@@ -1,0 +1,94 @@
+package schur
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// TestTransitionStochasticProperty: for random connected graphs and random
+// subsets, the Definition-2 transition matrix is stochastic with zero
+// diagonal, and agrees with the Laplacian-eliminated complement graph.
+func TestTransitionStochasticProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 6 + src.Intn(6)
+		g, err := graph.ErdosRenyi(n, 0.5, src)
+		if err != nil {
+			return true // skip unlucky generations
+		}
+		// Random subset of size 2..n-1.
+		size := 2 + src.Intn(n-2)
+		perm := src.Perm(n)
+		sub, err := NewSubset(n, perm[:size])
+		if err != nil {
+			return false
+		}
+		s, err := Transition(g, sub)
+		if err != nil {
+			return false
+		}
+		if !s.IsStochastic(1e-8) {
+			return false
+		}
+		for i := 0; i < size; i++ {
+			if s.At(i, i) != 0 {
+				return false
+			}
+		}
+		h, err := ComplementGraph(g, sub)
+		if err != nil {
+			return false
+		}
+		ht, err := h.TransitionMatrix()
+		if err != nil {
+			return false
+		}
+		return ht.Equal(s, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShortcutRowsStochasticProperty: every row of Q is a probability
+// distribution over predecessors for random instances.
+func TestShortcutRowsStochasticProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 5 + src.Intn(7)
+		g, err := graph.ErdosRenyi(n, 0.5, src)
+		if err != nil {
+			return true
+		}
+		size := 1 + src.Intn(n-1)
+		perm := src.Perm(n)
+		sub, err := NewSubset(n, perm[:size])
+		if err != nil {
+			return false
+		}
+		q, err := ShortcutTransition(g, sub)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			var sum float64
+			for x := 0; x < n; x++ {
+				v := q.At(u, x)
+				if v < -1e-12 {
+					return false
+				}
+				sum += v
+			}
+			if sum < 1-1e-8 || sum > 1+1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+package schur
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// Transition computes the transition matrix S of the random walk on
+// Schur(G, S) per Definition 2 of the paper: S[u,v] is the probability that
+// v is the first vertex of S \ {u} that a random walk on G started at u
+// visits. Rows and columns are indexed by the subset's local ordering;
+// diagonal entries are zero (Corollary 3's M_u normalization removes
+// self-returns).
+//
+// The computation is the exact absorbing-chain block solve. Write P in
+// blocks over (S̄, S): T = P[S̄,S̄], B = P[S̄,S]. Then F = (I-T)^{-1} B gives
+// first-hit probabilities from outside S, the with-returns matrix is
+// S0[u,v] = P[u,v] + sum_w P[u,w] F[w,v], and S = rownormalize(S0 with the
+// diagonal removed).
+func Transition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
+	s0, err := withReturns(g, sub)
+	if err != nil {
+		return nil, err
+	}
+	k := sub.Size()
+	if k == 1 {
+		return nil, fmt.Errorf("schur: transition matrix of a single-vertex subset is empty")
+	}
+	out := matrix.MustNew(k, k)
+	for i := 0; i < k; i++ {
+		self := s0.At(i, i)
+		den := 1 - self
+		if den <= 1e-13 {
+			return nil, fmt.Errorf("schur: vertex %d returns to itself with probability ~1; subset unreachable from it", sub.vertices[i])
+		}
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			out.Set(i, j, s0.At(i, j)/den)
+		}
+	}
+	return out, nil
+}
+
+// withReturns computes S0[u,v]: the probability that the first vertex of S
+// visited at time >= 1 by a walk from u in S is v (v = u allowed).
+func withReturns(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
+	if sub.N() != g.N() {
+		return nil, fmt.Errorf("schur: subset universe %d does not match graph size %d", sub.N(), g.N())
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("schur: graph must be connected")
+	}
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		return nil, err
+	}
+	k := sub.Size()
+	comp := sub.complement
+	sv := sub.vertices
+
+	// F[w][v]: first-hit probability from w in S̄ to v in S.
+	var f *matrix.Matrix
+	if len(comp) > 0 {
+		f, err = firstHit(p, comp, sv)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s0 := matrix.MustNew(k, k)
+	for i, u := range sv {
+		row := s0.Row(i)
+		for j, v := range sv {
+			row[j] = p.At(u, v)
+		}
+		if f != nil {
+			for wi, w := range comp {
+				puw := p.At(u, w)
+				if puw == 0 {
+					continue
+				}
+				fr := f.Row(wi)
+				for j := range row {
+					row[j] += puw * fr[j]
+				}
+			}
+		}
+	}
+	return s0, nil
+}
+
+// firstHit solves the absorbing-chain system: F = (I - T)^{-1} B where
+// T = P[comp, comp] and B = P[comp, sv].
+func firstHit(p *matrix.Matrix, comp, sv []int) (*matrix.Matrix, error) {
+	t, err := p.Submatrix(comp, comp)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.Submatrix(comp, sv)
+	if err != nil {
+		return nil, err
+	}
+	c := len(comp)
+	system := matrix.Identity(c)
+	for i := 0; i < c; i++ {
+		for j := 0; j < c; j++ {
+			system.Set(i, j, system.At(i, j)-t.At(i, j))
+		}
+	}
+	lu, err := matrix.Factor(system)
+	if err != nil {
+		return nil, fmt.Errorf("schur: absorbing chain system singular (is S reachable from all of V\\S?): %w", err)
+	}
+	k := len(sv)
+	f := matrix.MustNew(c, k)
+	col := make([]float64, c)
+	for j := 0; j < k; j++ {
+		for i := 0; i < c; i++ {
+			col[i] = b.At(i, j)
+		}
+		x, err := lu.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			f.Set(i, j, x[i])
+		}
+	}
+	return f, nil
+}
+
+// ComplementGraph builds the weighted graph H = Schur(G, S) of Definition 1
+// by eliminating V \ S from the Laplacian: L(H) = L_SS - L_SC L_CC^{-1} L_CS.
+// Vertices of H are indexed by the subset's local ordering. Tiny negative
+// off-diagonal residue from floating point is clamped; weights below tol are
+// dropped as numerically-zero.
+func ComplementGraph(g *graph.Graph, sub *Subset) (*graph.Graph, error) {
+	if sub.N() != g.N() {
+		return nil, fmt.Errorf("schur: subset universe %d does not match graph size %d", sub.N(), g.N())
+	}
+	k := sub.Size()
+	if k < 2 {
+		return nil, fmt.Errorf("schur: complement graph needs |S| >= 2, got %d", k)
+	}
+	l := g.Laplacian()
+	sv := sub.vertices
+	comp := sub.complement
+
+	lss, err := l.Submatrix(sv, sv)
+	if err != nil {
+		return nil, err
+	}
+	schurL := lss
+	if len(comp) > 0 {
+		lsc, err := l.Submatrix(sv, comp)
+		if err != nil {
+			return nil, err
+		}
+		lcs, err := l.Submatrix(comp, sv)
+		if err != nil {
+			return nil, err
+		}
+		lcc, err := l.Submatrix(comp, comp)
+		if err != nil {
+			return nil, err
+		}
+		lccInv, err := matrix.Inverse(lcc)
+		if err != nil {
+			return nil, fmt.Errorf("schur: L[V\\S, V\\S] singular: %w", err)
+		}
+		tmp, err := lsc.Mul(lccInv)
+		if err != nil {
+			return nil, err
+		}
+		corr, err := tmp.Mul(lcs)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				schurL.Set(i, j, schurL.At(i, j)-corr.At(i, j))
+			}
+		}
+	}
+
+	const tol = 1e-12
+	h := graph.MustNew(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			w := -schurL.At(i, j)
+			if w < -tol {
+				return nil, fmt.Errorf("schur: complement produced negative weight %g on {%d,%d}", w, i, j)
+			}
+			if w > tol {
+				if err := h.AddEdge(i, j, w); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// ShortcutTransition computes Q, the transition matrix of ShortCut(G, S)
+// (Definition 3): Q[u, x] is the probability that x is the vertex visited
+// immediately before the walk from u first visits S at a time >= 1. Rows
+// range over all of V; the column support is {u} ∪ (V \ S) (only those can
+// precede an S-entry).
+func ShortcutTransition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
+	if sub.N() != g.N() {
+		return nil, fmt.Errorf("schur: subset universe %d does not match graph size %d", sub.N(), g.N())
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("schur: graph must be connected")
+	}
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	comp := sub.complement
+
+	// absorb[x] = probability of stepping from x directly into S.
+	absorb := make([]float64, n)
+	for x := 0; x < n; x++ {
+		var a float64
+		g.VisitNeighbors(x, func(h graph.Half) {
+			if sub.Contains(h.To) {
+				a += h.Weight
+			}
+		})
+		if d := g.Degree(x); d > 0 {
+			absorb[x] = a / d
+		}
+	}
+
+	q := matrix.MustNew(n, n)
+	// Direct entry at time 1: the predecessor is u itself.
+	for u := 0; u < n; u++ {
+		q.Set(u, u, absorb[u])
+	}
+	if len(comp) == 0 {
+		return q, nil
+	}
+
+	// G[u][w] = expected visits to w in S̄ before first S-entry
+	//         = [P restricted to S̄-columns] * (I - T)^{-1}.
+	// Then Q[u][x] += G[u][x] * absorb[x].
+	t, err := p.Submatrix(comp, comp)
+	if err != nil {
+		return nil, err
+	}
+	c := len(comp)
+	system := matrix.Identity(c)
+	for i := 0; i < c; i++ {
+		for j := 0; j < c; j++ {
+			system.Set(i, j, system.At(i, j)-t.At(i, j))
+		}
+	}
+	// visits = (I - T^T)^{-1} applied per start row: solve transposed
+	// systems so we can reuse one factorization: G = Pcomp * Inv, i.e.
+	// G^T = Inv^T * Pcomp^T, column by column.
+	lu, err := matrix.Factor(system.Transpose())
+	if err != nil {
+		return nil, fmt.Errorf("schur: shortcut system singular: %w", err)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	pcomp, err := p.Submatrix(all, comp)
+	if err != nil {
+		return nil, err
+	}
+	rhs := make([]float64, c)
+	for u := 0; u < n; u++ {
+		copy(rhs, pcomp.Row(u))
+		gu, err := lu.Solve(rhs)
+		if err != nil {
+			return nil, err
+		}
+		for wi, w := range comp {
+			if gu[wi] != 0 {
+				q.Add(u, w, gu[wi]*absorb[w])
+			}
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,522 @@
+package schur
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/prng"
+	"repro/internal/walk"
+)
+
+func TestSubsetBasics(t *testing.T) {
+	sub, err := NewSubset(6, []int{4, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != 3 || sub.N() != 6 {
+		t.Errorf("size=%d n=%d", sub.Size(), sub.N())
+	}
+	if got := sub.Vertices(); got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("vertices not sorted: %v", got)
+	}
+	if got := sub.Complement(); len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("complement wrong: %v", got)
+	}
+	if !sub.Contains(4) || sub.Contains(3) || sub.Contains(-1) {
+		t.Error("Contains wrong")
+	}
+	li, err := sub.LocalIndex(4)
+	if err != nil || li != 2 {
+		t.Errorf("LocalIndex(4) = %d, %v", li, err)
+	}
+	if _, err := sub.LocalIndex(0); err == nil {
+		t.Error("expected error for non-member")
+	}
+	v, err := sub.VertexAt(1)
+	if err != nil || v != 2 {
+		t.Errorf("VertexAt(1) = %d, %v", v, err)
+	}
+	if _, err := sub.VertexAt(9); err == nil {
+		t.Error("expected error for bad index")
+	}
+}
+
+func TestSubsetValidation(t *testing.T) {
+	if _, err := NewSubset(0, []int{0}); err == nil {
+		t.Error("expected error for empty universe")
+	}
+	if _, err := NewSubset(3, nil); err == nil {
+		t.Error("expected error for empty subset")
+	}
+	if _, err := NewSubset(3, []int{0, 0}); err == nil {
+		t.Error("expected error for duplicates")
+	}
+	if _, err := NewSubset(3, []int{5}); err == nil {
+		t.Error("expected error for out-of-range vertex")
+	}
+}
+
+// TestFigure2 reproduces the paper's Figure 2 exactly: star around C with
+// S = {A, B, D}. Schur(G,S) has uniform 1/2 transitions; ShortCut(G,S)
+// sends every vertex to C.
+func TestFigure2(t *testing.T) {
+	g := graph.Figure2Graph()
+	sub, err := NewSubset(4, []int{0, 1, 3}) // A, B, D
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Transition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.5
+			if i == j {
+				want = 0
+			}
+			if math.Abs(s.At(i, j)-want) > 1e-12 {
+				t.Errorf("Schur transition [%d][%d] = %g, want %g", i, j, s.At(i, j), want)
+			}
+		}
+	}
+	q, err := ShortcutTransition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = 2
+	for u := 0; u < 4; u++ {
+		for x := 0; x < 4; x++ {
+			want := 0.0
+			if x == c {
+				want = 1.0
+			}
+			if math.Abs(q.At(u, x)-want) > 1e-12 {
+				t.Errorf("Q[%d][%d] = %g, want %g", u, x, q.At(u, x), want)
+			}
+		}
+	}
+	// The complement graph should be the triangle on {A,B,D} with equal
+	// weights (uniform transitions).
+	h, err := ComplementGraph(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != 3 {
+		t.Errorf("Schur complement has %d edges, want 3 (triangle)", h.M())
+	}
+	ht, err := h.TransitionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ht.Equal(s, 1e-9) {
+		t.Error("complement graph transitions disagree with Definition 2 matrix")
+	}
+}
+
+// TestPathReduction checks the classic 3-vertex example: path a-c-b with
+// S = {a, b} reduces to a single edge of weight 1/2 and deterministic
+// transitions.
+func TestPathReduction(t *testing.T) {
+	g := graph.MustNew(3)
+	if err := g.AddUnitEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUnitEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewSubset(3, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ComplementGraph(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != 1 || math.Abs(h.Weight(0, 1)-0.5) > 1e-12 {
+		t.Errorf("Schur of path: %d edges, weight %g; want 1 edge of weight 0.5", h.M(), h.Weight(0, 1))
+	}
+	s, err := Transition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.At(0, 1)-1) > 1e-12 || math.Abs(s.At(1, 0)-1) > 1e-12 {
+		t.Errorf("transitions %g, %g; want 1, 1", s.At(0, 1), s.At(1, 0))
+	}
+}
+
+func TestTransitionStochasticAndMatchesComplementGraph(t *testing.T) {
+	src := prng.New(7)
+	g, err := graph.ErdosRenyi(14, 0.4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewSubset(14, []int{0, 2, 3, 7, 9, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Transition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsStochastic(1e-9) {
+		t.Error("Definition-2 transition matrix not stochastic")
+	}
+	for i := 0; i < sub.Size(); i++ {
+		if s.At(i, i) != 0 {
+			t.Errorf("self transition at %d should be 0, got %g", i, s.At(i, i))
+		}
+	}
+	h, err := ComplementGraph(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := h.TransitionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ht.Equal(s, 1e-8) {
+		d, _ := ht.MaxAbsDiff(s)
+		t.Errorf("Laplacian-eliminated graph transitions differ from absorbing-chain transitions (max %g)", d)
+	}
+}
+
+// TestTransitionMatchesWatchedWalk is the semantic ground truth: simulate
+// many random walks on G from a vertex of S and record the first vertex of
+// S\{u} they visit; frequencies must match Transition's row.
+func TestTransitionMatchesWatchedWalk(t *testing.T) {
+	src := prng.New(11)
+	g, err := graph.ErdosRenyi(10, 0.45, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []int{1, 4, 6, 8}
+	sub, err := NewSubset(10, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Transition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 60000
+	start := 4
+	li, err := sub.LocalIndex(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	wsrc := prng.New(13)
+	for i := 0; i < trials; i++ {
+		cur := start
+		for {
+			next, err := walk.Step(g, cur, wsrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = next
+			if sub.Contains(cur) && cur != start {
+				counts[cur]++
+				break
+			}
+		}
+	}
+	for _, v := range members {
+		if v == start {
+			continue
+		}
+		lj, err := sub.LocalIndex(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(counts[v]) / trials
+		want := s.At(li, lj)
+		if math.Abs(got-want) > 0.012 {
+			t.Errorf("first S\\{u}-visit frequency of %d: %.4f vs exact %.4f", v, got, want)
+		}
+	}
+}
+
+func TestIterativeMatchesExact(t *testing.T) {
+	src := prng.New(19)
+	g, err := graph.ErdosRenyi(12, 0.4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewSubset(12, []int{0, 3, 5, 6, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qExact, err := ShortcutTransition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^20 steps: far beyond the mixing scale of a 12-vertex chain.
+	qIter, err := IterativeShortcutTransition(g, sub, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := qExact.MaxAbsDiff(qIter); d > 1e-9 {
+		t.Errorf("iterative Q differs from exact by %g", d)
+	}
+	sExact, err := Transition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIter, err := IterativeTransition(g, sub, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := sExact.MaxAbsDiff(sIter); d > 1e-9 {
+		t.Errorf("iterative S differs from exact by %g", d)
+	}
+}
+
+func TestIterativeUnderApproximates(t *testing.T) {
+	// Corollary 2 promises subtractive error: finite powering
+	// under-approximates Q entrywise.
+	g, err := graph.Lollipop(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewSubset(8, []int{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qExact, err := ShortcutTransition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qIter, err := IterativeShortcutTransition(g, sub, 4) // only 16 steps
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			if qIter.At(u, v) > qExact.At(u, v)+1e-12 {
+				t.Fatalf("iterative Q[%d][%d] = %g exceeds exact %g", u, v, qIter.At(u, v), qExact.At(u, v))
+			}
+		}
+	}
+}
+
+func TestTransitionSEqualsVAllVertices(t *testing.T) {
+	// S = V: no vertices eliminated, so Schur(G,V) = G.
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []int{0, 1, 2, 3, 4, 5}
+	sub, err := NewSubset(6, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Transition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.TransitionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(p, 1e-12) {
+		t.Error("Schur(G, V) transition differs from G's own")
+	}
+}
+
+func TestTransitionErrors(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subWrongN, err := NewSubset(5, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transition(g, subWrongN); err == nil {
+		t.Error("expected universe mismatch error")
+	}
+	single, err := NewSubset(4, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transition(g, single); err == nil {
+		t.Error("expected error for singleton subset")
+	}
+	disc := graph.MustNew(4)
+	if err := disc.AddUnitEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := disc.AddUnitEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := NewSubset(4, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transition(disc, sub2); err == nil {
+		t.Error("expected error for disconnected graph")
+	}
+}
+
+func TestShortcutRowsSumToOne(t *testing.T) {
+	src := prng.New(29)
+	g, err := graph.ErdosRenyi(12, 0.4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewSubset(12, []int{2, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ShortcutTransition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each row of Q is a distribution over possible predecessors.
+	for u := 0; u < 12; u++ {
+		var s float64
+		for x := 0; x < 12; x++ {
+			s += q.At(u, x)
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("row %d of Q sums to %g", u, s)
+		}
+	}
+}
+
+// TestFirstVisitEdgeMatchesSimulation validates Algorithm 4's Bayes formula
+// against brute-force simulation: walk on G from u0 until the first visit to
+// a vertex of S\{u0}; record (arrival vertex, incoming edge); the
+// conditional edge distribution must match FirstVisitEdgeDistribution.
+func TestFirstVisitEdgeMatchesSimulation(t *testing.T) {
+	src := prng.New(31)
+	g, err := graph.ErdosRenyi(9, 0.5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []int{0, 4, 7}
+	sub, err := NewSubset(9, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ShortcutTransition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := 0
+	const trials = 120000
+	arrivals := make(map[int]int) // v -> count
+	edges := make(map[[2]int]int) // (v, x) -> count
+	wsrc := prng.New(37)
+	for i := 0; i < trials; i++ {
+		prevV, cur := u0, u0
+		for {
+			next, err := walk.Step(g, cur, wsrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevV, cur = cur, next
+			if sub.Contains(cur) && cur != u0 {
+				arrivals[cur]++
+				edges[[2]int{cur, prevV}]++
+				break
+			}
+		}
+	}
+	for _, v := range members {
+		if v == u0 || arrivals[v] == 0 {
+			continue
+		}
+		dist, err := FirstVisitEdgeDistribution(g, sub, q, u0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x, want := range dist {
+			got := float64(edges[[2]int{v, x}]) / float64(arrivals[v])
+			if math.Abs(got-want) > 0.015 {
+				t.Errorf("entry edge (%d->%d): simulated %.4f vs Bayes %.4f", x, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleFirstVisitEdgeAgreesWithDistribution(t *testing.T) {
+	g := graph.Figure2Graph()
+	sub, err := NewSubset(4, []int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ShortcutTransition(g, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From A (0), first visit to B (1): only possible entry edge is (C,B).
+	src := prng.New(41)
+	for i := 0; i < 50; i++ {
+		x, err := SampleFirstVisitEdge(g, sub, q, 0, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != 2 {
+			t.Fatalf("sampled entry %d, want C=2", x)
+		}
+	}
+}
+
+func TestSampleFirstVisitEdgeErrors(t *testing.T) {
+	g := graph.Figure2Graph()
+	sub, err := NewSubset(4, []int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := matrix.MustNew(4, 4)
+	src := prng.New(1)
+	if _, err := SampleFirstVisitEdge(g, sub, q, 0, 2, src); err == nil {
+		t.Error("expected error for target not in S")
+	}
+	if _, err := SampleFirstVisitEdge(g, sub, q, 0, 9, src); err == nil {
+		t.Error("expected error for out-of-range vertex")
+	}
+	// All-zero Q row: no mass anywhere.
+	if _, err := SampleFirstVisitEdge(g, sub, q, 0, 1, src); err == nil {
+		t.Error("expected error for zero-mass distribution")
+	}
+}
+
+func TestComplementGraphValidation(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewSubset(4, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComplementGraph(g, single); err == nil {
+		t.Error("expected error for |S| < 2")
+	}
+	subWrongN, err := NewSubset(6, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComplementGraph(g, subWrongN); err == nil {
+		t.Error("expected universe mismatch error")
+	}
+}
+
+func TestIterativeValidation(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewSubset(4, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IterativeShortcutTransition(g, sub, -1); err == nil {
+		t.Error("expected error for negative squarings")
+	}
+}

@@ -1,0 +1,215 @@
+// Package walk implements random walks on weighted graphs: single steps,
+// full trajectories, cover walks, and estimators for the cover time, the
+// quantity that governs the paper's walk length choices (l = Θ̃(n³) comes
+// from the O(n³) worst-case cover time of unweighted graphs, §2.1) and the
+// round complexity of Corollary 1 (trees in Õ(τ/n) rounds for cover time τ).
+package walk
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// Step samples one random walk step from u: a neighbor chosen with
+// probability proportional to the connecting edge's weight (§1.1; footnote 1
+// for the weighted case).
+func Step(g *graph.Graph, u int, src *prng.Source) (int, error) {
+	if u < 0 || u >= g.N() {
+		return 0, fmt.Errorf("walk: vertex %d out of range [0,%d)", u, g.N())
+	}
+	deg := g.Degree(u)
+	if deg <= 0 {
+		return 0, fmt.Errorf("walk: vertex %d is isolated", u)
+	}
+	r := src.Float64() * deg
+	acc := 0.0
+	next := -1
+	g.VisitNeighbors(u, func(h graph.Half) {
+		if next >= 0 {
+			return
+		}
+		acc += h.Weight
+		if r < acc {
+			next = h.To
+		}
+	})
+	if next < 0 {
+		// Floating point slack: take the last neighbor.
+		nb := g.Neighbors(u)
+		next = nb[len(nb)-1].To
+	}
+	return next, nil
+}
+
+// Walk returns the trajectory of a length-steps random walk from start,
+// including the start vertex (so the result has steps+1 entries).
+func Walk(g *graph.Graph, start, steps int, src *prng.Source) ([]int, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("walk: negative length %d", steps)
+	}
+	out := make([]int, 0, steps+1)
+	out = append(out, start)
+	cur := start
+	for i := 0; i < steps; i++ {
+		next, err := Step(g, cur, src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out, nil
+}
+
+// CoverWalk walks from start until every vertex has been visited, returning
+// the trajectory. maxSteps bounds the walk; exceeding it is an error (use a
+// bound well above the expected cover time, which is at most ~2*n*m for
+// connected graphs).
+func CoverWalk(g *graph.Graph, start, maxSteps int, src *prng.Source) ([]int, error) {
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("walk: cover walk on disconnected graph never terminates")
+	}
+	seen := make([]bool, g.N())
+	seen[start] = true
+	remaining := g.N() - 1
+	out := make([]int, 0, g.N()*4)
+	out = append(out, start)
+	cur := start
+	for steps := 0; remaining > 0; steps++ {
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("walk: cover walk exceeded %d steps with %d vertices unvisited", maxSteps, remaining)
+		}
+		next, err := Step(g, cur, src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+		if !seen[next] {
+			seen[next] = true
+			remaining--
+		}
+		cur = next
+	}
+	return out, nil
+}
+
+// WalkUntilDistinct walks from start until the walk contains `distinct`
+// distinct vertices (counting start), or length maxSteps is reached,
+// whichever is first — the stopping time τ of the paper's §2.1.2 with
+// ρ = distinct and l = maxSteps. It returns the trajectory truncated at the
+// first occurrence of the distinct-th vertex.
+func WalkUntilDistinct(g *graph.Graph, start, distinct, maxSteps int, src *prng.Source) ([]int, error) {
+	if distinct < 1 {
+		return nil, fmt.Errorf("walk: need at least 1 distinct vertex, got %d", distinct)
+	}
+	seen := make(map[int]struct{}, distinct)
+	seen[start] = struct{}{}
+	out := []int{start}
+	cur := start
+	for len(seen) < distinct && len(out) <= maxSteps {
+		next, err := Step(g, cur, src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+		seen[next] = struct{}{}
+		cur = next
+	}
+	return out, nil
+}
+
+// EstimateCoverTime returns the mean number of steps of trials independent
+// cover walks from start. maxSteps bounds each walk.
+func EstimateCoverTime(g *graph.Graph, start, trials, maxSteps int, src *prng.Source) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("walk: need at least 1 trial, got %d", trials)
+	}
+	var total float64
+	for i := 0; i < trials; i++ {
+		w, err := CoverWalk(g, start, maxSteps, src.Split(uint64(i)))
+		if err != nil {
+			return 0, err
+		}
+		total += float64(len(w) - 1)
+	}
+	return total / float64(trials), nil
+}
+
+// DistinctCount returns the number of distinct vertices in a trajectory.
+func DistinctCount(traj []int) int {
+	seen := make(map[int]struct{}, len(traj))
+	for _, v := range traj {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// FirstVisitEdges extracts the Aldous-Broder tree edges from a trajectory:
+// for every vertex other than the start, the edge by which it was first
+// visited (the theorem of Aldous [1] and Broder [12] that the paper builds
+// on). The trajectory must visit every one of n vertices; otherwise an
+// error is returned.
+func FirstVisitEdges(traj []int, n int) ([]graph.Edge, error) {
+	if len(traj) == 0 {
+		return nil, fmt.Errorf("walk: empty trajectory")
+	}
+	visited := make([]bool, n)
+	visited[traj[0]] = true
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < len(traj); i++ {
+		v := traj[i]
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("walk: trajectory vertex %d out of range [0,%d)", v, n)
+		}
+		if !visited[v] {
+			visited[v] = true
+			u := traj[i-1]
+			e := graph.Edge{U: min(u, v), V: max(u, v), Weight: 1}
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("walk: trajectory covers %d of %d vertices", len(edges)+1, n)
+	}
+	return edges, nil
+}
+
+// StationaryDistribution returns the stationary distribution of the random
+// walk: pi(v) = degree(v) / (2 * total weight).
+func StationaryDistribution(g *graph.Graph) []float64 {
+	total := 2 * g.TotalWeight()
+	out := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = g.Degree(v) / total
+	}
+	return out
+}
+
+// HittingTimeEstimate returns the mean number of steps for a walk from u to
+// first reach v, over trials runs bounded by maxSteps each.
+func HittingTimeEstimate(g *graph.Graph, u, v, trials, maxSteps int, src *prng.Source) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("walk: need at least 1 trial, got %d", trials)
+	}
+	var total float64
+	for i := 0; i < trials; i++ {
+		cur := u
+		steps := 0
+		rng := src.Split(uint64(i))
+		for cur != v {
+			if steps >= maxSteps {
+				return 0, fmt.Errorf("walk: hitting time from %d to %d exceeded %d steps", u, v, maxSteps)
+			}
+			next, err := Step(g, cur, rng)
+			if err != nil {
+				return 0, err
+			}
+			cur = next
+			steps++
+		}
+		total += float64(steps)
+	}
+	return total / float64(trials), nil
+}

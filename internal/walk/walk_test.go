@@ -1,0 +1,302 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+func TestStepDistribution(t *testing.T) {
+	// Weighted star: from center, transition proportional to weight.
+	g := graph.MustNew(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(1)
+	counts := [3]int{}
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		v, err := Step(g, 0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	if got := float64(counts[2]) / trials; math.Abs(got-0.75) > 0.01 {
+		t.Errorf("P(0 -> 2) = %.4f, want 0.75", got)
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	g := graph.MustNew(2)
+	src := prng.New(1)
+	if _, err := Step(g, 0, src); err == nil {
+		t.Error("expected error for isolated vertex")
+	}
+	if _, err := Step(g, 5, src); err == nil {
+		t.Error("expected error for out-of-range vertex")
+	}
+}
+
+func TestWalkLengthAndAdjacency(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(2)
+	traj, err := Walk(g, 3, 50, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 51 || traj[0] != 3 {
+		t.Fatalf("trajectory len %d start %d, want 51 starting at 3", len(traj), traj[0])
+	}
+	for i := 1; i < len(traj); i++ {
+		if !g.HasEdge(traj[i-1], traj[i]) {
+			t.Fatalf("non-edge step %d -> %d", traj[i-1], traj[i])
+		}
+	}
+	if _, err := Walk(g, 0, -1, src); err == nil {
+		t.Error("expected error for negative length")
+	}
+}
+
+func TestCoverWalkCovers(t *testing.T) {
+	g, err := graph.Lollipop(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(3)
+	traj, err := CoverWalk(g, 0, 1_000_000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DistinctCount(traj) != g.N() {
+		t.Errorf("cover walk visited %d of %d vertices", DistinctCount(traj), g.N())
+	}
+	// Last vertex must be the newly covered one.
+	last := traj[len(traj)-1]
+	for _, v := range traj[:len(traj)-1] {
+		if v == last {
+			t.Error("cover walk did not stop at first full coverage")
+			break
+		}
+	}
+}
+
+func TestCoverWalkDisconnected(t *testing.T) {
+	g := graph.MustNew(4)
+	if err := g.AddUnitEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUnitEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoverWalk(g, 0, 1000, prng.New(1)); err == nil {
+		t.Error("expected error for disconnected graph")
+	}
+}
+
+func TestCoverWalkBudgetExceeded(t *testing.T) {
+	g, err := graph.Path(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CoverWalk(g, 0, 10, prng.New(1)); err == nil {
+		t.Error("expected error when budget too small")
+	}
+}
+
+func TestWalkUntilDistinct(t *testing.T) {
+	g, err := graph.Complete(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(4)
+	traj, err := WalkUntilDistinct(g, 0, 5, 1000000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DistinctCount(traj) != 5 {
+		t.Errorf("distinct = %d, want 5", DistinctCount(traj))
+	}
+	// The final vertex must be the 5th distinct one (first occurrence).
+	last := traj[len(traj)-1]
+	for _, v := range traj[:len(traj)-1] {
+		if v == last {
+			t.Error("walk did not stop at first occurrence of the rho-th distinct vertex")
+		}
+	}
+	if _, err := WalkUntilDistinct(g, 0, 0, 100, src); err == nil {
+		t.Error("expected error for distinct < 1")
+	}
+}
+
+func TestWalkUntilDistinctRespectsMaxSteps(t *testing.T) {
+	g, err := graph.Path(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := WalkUntilDistinct(g, 0, 100, 10, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) > 11 {
+		t.Errorf("walk length %d exceeds maxSteps budget", len(traj))
+	}
+}
+
+func TestEstimateCoverTimeCompleteGraph(t *testing.T) {
+	// Coupon collector: cover time of K_n is ~ (n-1) H_{n-1}.
+	n := 16
+	g, err := graph.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(6)
+	got, err := EstimateCoverTime(g, 0, 300, 100000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 0.0
+	for i := 1; i <= n-1; i++ {
+		h += 1 / float64(i)
+	}
+	want := float64(n-1) * h
+	if math.Abs(got-want) > 0.15*want {
+		t.Errorf("cover time estimate %.1f, theory %.1f", got, want)
+	}
+}
+
+func TestCoverTimeOrdering(t *testing.T) {
+	// Path cover time (Theta(n^2)) should exceed complete graph cover time
+	// (Theta(n log n)) at equal n.
+	n := 24
+	pathG, err := graph.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compG, err := graph.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prng.New(7)
+	pct, err := EstimateCoverTime(pathG, 0, 40, 10_000_000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cct, err := EstimateCoverTime(compG, 0, 40, 10_000_000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct <= cct {
+		t.Errorf("path cover time %.1f should exceed complete graph %.1f", pct, cct)
+	}
+}
+
+func TestFirstVisitEdgesFormSpanningTree(t *testing.T) {
+	g, err := graph.ErdosRenyi(20, 0.3, prng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := CoverWalk(g, 0, 10_000_000, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := FirstVisitEdges(traj, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != g.N()-1 {
+		t.Fatalf("%d edges, want %d", len(edges), g.N()-1)
+	}
+	// Every edge must exist in G; the edge set must be connected and
+	// acyclic (n-1 edges + connected = tree).
+	tg := graph.MustNew(g.N())
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("tree edge {%d,%d} not in graph", e.U, e.V)
+		}
+		if err := tg.AddUnitEdge(e.U, e.V); err != nil {
+			t.Fatalf("duplicate tree edge {%d,%d}", e.U, e.V)
+		}
+	}
+	if !tg.IsConnected() {
+		t.Error("first-visit edges do not form a connected subgraph")
+	}
+}
+
+func TestFirstVisitEdgesErrors(t *testing.T) {
+	if _, err := FirstVisitEdges(nil, 3); err == nil {
+		t.Error("expected error for empty trajectory")
+	}
+	if _, err := FirstVisitEdges([]int{0, 1}, 3); err == nil {
+		t.Error("expected error for non-covering trajectory")
+	}
+	if _, err := FirstVisitEdges([]int{0, 9}, 3); err == nil {
+		t.Error("expected error for out-of-range vertex")
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	g, err := graph.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := StationaryDistribution(g)
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("stationary distribution sums to %g", sum)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-12 {
+		t.Errorf("star center mass %g, want 0.5", pi[0])
+	}
+}
+
+func TestHittingTimeEstimatePathEndpoints(t *testing.T) {
+	// Hitting time from one end of a path to the other is (n-1)^2.
+	n := 8
+	g, err := graph.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := HittingTimeEstimate(g, 0, n-1, 400, 1_000_000, prng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64((n - 1) * (n - 1))
+	if math.Abs(got-want) > 0.2*want {
+		t.Errorf("hitting time %.1f, theory %.1f", got, want)
+	}
+}
+
+func TestHittingTimeErrors(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HittingTimeEstimate(g, 0, 3, 0, 100, prng.New(1)); err == nil {
+		t.Error("expected error for zero trials")
+	}
+	if _, err := HittingTimeEstimate(g, 0, 3, 1, 1, prng.New(1)); err == nil {
+		t.Error("expected error when maxSteps too small")
+	}
+}
+
+func TestEstimateCoverTimeErrors(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateCoverTime(g, 0, 0, 100, prng.New(1)); err == nil {
+		t.Error("expected error for zero trials")
+	}
+}

@@ -1,0 +1,309 @@
+// Package spantree is a Go reproduction of "Sublinear-Time Sampling of
+// Spanning Trees in the Congested Clique" (Pemmaraju, Roy, Sobel; PODC
+// 2025, arXiv:2411.13334).
+//
+// It provides:
+//
+//   - Sample: the paper's main contribution (Theorem 1) — an approximately
+//     uniform spanning tree sampler running on a simulated congested clique
+//     in Õ(n^(1/2+α)) simulated rounds, built from top-down walk filling,
+//     distributed binary search truncation, multiset compression with
+//     perfect-matching placement, and Schur-complement walk shortcutting.
+//   - SampleExact: the appendix's exact variant (Õ(n^(2/3+α)) rounds).
+//   - SampleLowCoverTime: the Corollary 1 sampler for graphs with small
+//     cover times, built on the Section 3 load-balanced doubling algorithm.
+//   - Baselines: sequential Aldous-Broder, Wilson's algorithm, the naive
+//     one-step-per-round distributed port, and the (biased!) random-weight
+//     MST strawman of §1.4.
+//   - Ground truth: exact spanning tree counts (Matrix-Tree), tree
+//     enumeration, and a uniformity audit harness.
+//
+// All samplers are deterministic functions of their seed. Round counts
+// reported in Stats are simulated communication rounds under Lenzen's
+// routing accounting (see internal/clique); they are meant for shape
+// comparisons against the paper's bounds, not wall-clock time.
+package spantree
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/aldous"
+	"repro/internal/core"
+	"repro/internal/doubling"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mm"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+// Graph is an undirected weighted graph on vertices 0..n-1. Construct with
+// NewGraph and AddEdge/AddUnitEdge, or use the generators in this package.
+type Graph = graph.Graph
+
+// Edge is an undirected weighted edge.
+type Edge = graph.Edge
+
+// Tree is a spanning tree (a validated, canonically ordered edge list).
+type Tree = spanning.Tree
+
+// Stats reports the simulated cost of a congested clique sampler run.
+type Stats = core.Stats
+
+// AuditResult summarizes a uniformity audit.
+type AuditResult = spanning.AuditResult
+
+// NewGraph returns an edgeless graph on n vertices.
+func NewGraph(n int) (*Graph, error) { return graph.New(n) }
+
+// Graph generators, re-exported from the internal graph package. See each
+// generator's documentation for parameter constraints.
+var (
+	Complete            = graph.Complete
+	Path                = graph.Path
+	Cycle               = graph.Cycle
+	Star                = graph.Star
+	Wheel               = graph.Wheel
+	Grid                = graph.Grid
+	Torus               = graph.Torus
+	Hypercube           = graph.Hypercube
+	BinaryTree          = graph.BinaryTree
+	CompleteBipartite   = graph.CompleteBipartite
+	UnbalancedBipartite = graph.UnbalancedBipartite
+	Lollipop            = graph.Lollipop
+	Barbell             = graph.Barbell
+)
+
+// ErdosRenyi samples a connected G(n, p) graph.
+func ErdosRenyi(n int, p float64, seed uint64) (*Graph, error) {
+	return graph.ErdosRenyi(n, p, prng.New(seed))
+}
+
+// RandomRegular samples a connected d-regular graph.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return graph.RandomRegular(n, d, prng.New(seed))
+}
+
+// Expander samples an 8-regular random graph (an O(n log n) cover-time
+// family).
+func Expander(n int, seed uint64) (*Graph, error) {
+	return graph.Expander(n, prng.New(seed))
+}
+
+// options collects the Sample configuration; see the With* constructors.
+type options struct {
+	seed     uint64
+	cfg      core.Config
+	segLen   int
+	treePath bool
+}
+
+// Option configures the samplers.
+type Option func(*options) error
+
+// WithSeed fixes the random seed (default 1). Identical seeds yield
+// identical trees and cost profiles.
+func WithSeed(seed uint64) Option {
+	return func(o *options) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithEpsilon sets the total variation target ε of Theorem 1 (default 1/n).
+func WithEpsilon(eps float64) Option {
+	return func(o *options) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("spantree: epsilon must be in (0,1), got %g", eps)
+		}
+		o.cfg.Epsilon = eps
+		return nil
+	}
+}
+
+// WithRho overrides the per-phase distinct-vertex budget (default ⌊√n⌋).
+func WithRho(rho int) Option {
+	return func(o *options) error {
+		if rho < 2 {
+			return fmt.Errorf("spantree: rho must be >= 2, got %d", rho)
+		}
+		o.cfg.Rho = rho
+		return nil
+	}
+}
+
+// WithWalkLength overrides the per-phase target walk length (a power of
+// two; default min(Θ̃(n³), 2^16) — see core.SimWalkCap).
+func WithWalkLength(l int64) Option {
+	return func(o *options) error {
+		if l < 2 || l&(l-1) != 0 {
+			return fmt.Errorf("spantree: walk length must be a power of two >= 2, got %d", l)
+		}
+		o.cfg.WalkLength = l
+		return nil
+	}
+}
+
+// WithBackend selects the matrix multiplication backend: "fast" (Õ(n^α)
+// cost model, default), "semiring3d" (faithful Θ(n^(1/3))-round dataflow),
+// or "naive" (Θ(n) rounds).
+func WithBackend(name string) Option {
+	return func(o *options) error {
+		switch name {
+		case "fast":
+			o.cfg.Backend = mm.Fast{}
+		case "semiring3d":
+			o.cfg.Backend = mm.Semiring3D{}
+		case "naive":
+			o.cfg.Backend = mm.Naive{}
+		default:
+			return fmt.Errorf("spantree: unknown backend %q (want fast, semiring3d or naive)", name)
+		}
+		return nil
+	}
+}
+
+// WithMatching selects the perfect matching sampler: "auto" (default,
+// exact up to 12 positions then Metropolis), "exact", or "metropolis".
+func WithMatching(name string) Option {
+	return func(o *options) error {
+		switch name {
+		case "auto":
+			o.cfg.Matching = matching.Auto{}
+		case "exact":
+			o.cfg.Matching = matching.Exact{}
+		case "metropolis":
+			o.cfg.Matching = matching.Metropolis{}
+		default:
+			return fmt.Errorf("spantree: unknown matching sampler %q (want auto, exact or metropolis)", name)
+		}
+		return nil
+	}
+}
+
+// WithPrecision enables the Lemma 7 fixed-point discipline: every matrix
+// power is truncated down to multiples of delta.
+func WithPrecision(delta float64) Option {
+	return func(o *options) error {
+		if delta < 0 {
+			return fmt.Errorf("spantree: precision delta must be >= 0, got %g", delta)
+		}
+		o.cfg.TruncDelta = delta
+		return nil
+	}
+}
+
+// WithSegmentLength sets the per-segment walk length of SampleLowCoverTime
+// (default 4·n·⌈log2 n⌉).
+func WithSegmentLength(l int) Option {
+	return func(o *options) error {
+		if l < 1 {
+			return fmt.Errorf("spantree: segment length must be >= 1, got %d", l)
+		}
+		o.segLen = l
+		return nil
+	}
+}
+
+func buildOptions(opts []Option) (*options, error) {
+	o := &options{seed: 1}
+	for _, opt := range opts {
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// Sample draws an approximately uniform spanning tree of g with the
+// phase-based congested clique algorithm (Theorem 1).
+func Sample(g *Graph, opts ...Option) (*Tree, *Stats, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Sample(g, o.cfg, prng.New(o.seed))
+}
+
+// SampleExact draws an exactly uniform spanning tree (up to float64
+// arithmetic) with the appendix's Õ(n^(2/3+α)) variant.
+func SampleExact(g *Graph, opts ...Option) (*Tree, *Stats, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.SampleExact(g, o.cfg, prng.New(o.seed))
+}
+
+// SampleLowCoverTime draws an exactly uniform spanning tree with the
+// Corollary 1 sampler (load-balanced doubling walks), efficient for graphs
+// with small cover times. The returned Stats reports only the fields the
+// doubling sampler tracks (Rounds, Supersteps, TotalWords, WalkSteps).
+func SampleLowCoverTime(g *Graph, opts ...Option) (*Tree, *Stats, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, st, err := doubling.SampleTree(g, doubling.TreeConfig{SegmentLength: o.segLen}, prng.New(o.seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, &Stats{
+		Rounds:     st.Rounds,
+		Supersteps: st.Supersteps,
+		TotalWords: st.TotalWords,
+		WalkSteps:  st.WalkSteps,
+	}, nil
+}
+
+// SampleAldousBroder draws an exactly uniform spanning tree with the
+// sequential Aldous-Broder cover walk (the paper's correctness baseline).
+func SampleAldousBroder(g *Graph, seed uint64) (*Tree, error) {
+	n := g.N()
+	maxSteps := 100 * n * n * n // well beyond the O(mn) cover-time bound
+	if maxSteps < 1_000_000 {
+		maxSteps = 1_000_000
+	}
+	return aldous.AldousBroder(g, 0, maxSteps, prng.New(seed))
+}
+
+// SampleWilson draws an exactly uniform spanning tree with Wilson's
+// loop-erased walk algorithm.
+func SampleWilson(g *Graph, seed uint64) (*Tree, error) {
+	return aldous.Wilson(g, 0, prng.New(seed))
+}
+
+// SampleMSTStrawman draws a spanning tree by the §1.4 strawman: i.i.d.
+// random edge weights + minimum spanning tree. Its distribution is NOT
+// uniform — it exists for bias experiments.
+func SampleMSTStrawman(g *Graph, seed uint64) (*Tree, error) {
+	return aldous.RandomWeightMST(g, prng.New(seed))
+}
+
+// CountSpanningTrees returns the exact number of spanning trees of g via
+// the Matrix-Tree theorem (integer edge weights required).
+func CountSpanningTrees(g *Graph) (*big.Int, error) {
+	return spanning.Count(g)
+}
+
+// AuditUniformity draws samples trees from sample and measures the total
+// variation distance of the empirical distribution from uniform over the
+// exactly counted spanning trees of g.
+func AuditUniformity(g *Graph, samples int, sample func() (*Tree, error)) (AuditResult, error) {
+	return spanning.Audit(g, samples, sample)
+}
+
+// AuditWeighted is AuditUniformity's weighted counterpart (the paper's
+// footnote 1): the target distribution assigns each tree probability
+// proportional to the product of its edge weights, computed by exact
+// enumeration (requires at most enumLimit trees).
+func AuditWeighted(g *Graph, samples, enumLimit int, sample func() (*Tree, error)) (AuditResult, error) {
+	return spanning.AuditWeighted(g, samples, enumLimit, sample)
+}
+
+// TreeWeight returns the product of g's edge weights over the tree's edges
+// — the unnormalized probability footnote 1 assigns the tree.
+func TreeWeight(g *Graph, t *Tree) (float64, error) {
+	return spanning.TreeWeight(g, t)
+}
