@@ -6,8 +6,7 @@
 //
 //	spantree -graph expander -n 64 -algo phase -seed 7
 //
-// Graphs: complete, path, cycle, star, wheel, grid, hypercube, expander,
-// er, lollipop, bipartite.
+// Graphs: any family spantree.BuildFamily knows (run with -h for the list).
 // Algorithms: phase (Theorem 1), exact (appendix), doubling (Corollary 1),
 // aldous, wilson, mst (the biased §1.4 strawman).
 package main
@@ -16,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	spantree "repro"
 )
@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		graphName = flag.String("graph", "expander", "graph family: complete|path|cycle|star|wheel|grid|hypercube|expander|er|lollipop|bipartite")
+		graphName = flag.String("graph", "expander", "graph family: "+strings.Join(spantree.FamilyNames(), "|"))
 		n         = flag.Int("n", 32, "number of vertices")
 		algo      = flag.String("algo", "phase", "sampler: phase|exact|doubling|aldous|wilson|mst")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -38,7 +38,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	g, err := buildGraph(*graphName, *n, *seed)
+	g, err := spantree.BuildFamily(*graphName, *n, *seed)
 	if err != nil {
 		return err
 	}
@@ -84,41 +84,4 @@ func run() error {
 		}
 	}
 	return nil
-}
-
-func buildGraph(name string, n int, seed uint64) (*spantree.Graph, error) {
-	switch name {
-	case "complete":
-		return spantree.Complete(n)
-	case "path":
-		return spantree.Path(n)
-	case "cycle":
-		return spantree.Cycle(n)
-	case "star":
-		return spantree.Star(n)
-	case "wheel":
-		return spantree.Wheel(n)
-	case "grid":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		return spantree.Grid(side, side)
-	case "hypercube":
-		d := 1
-		for (1 << d) < n {
-			d++
-		}
-		return spantree.Hypercube(d)
-	case "expander":
-		return spantree.Expander(n, seed)
-	case "er":
-		return spantree.ErdosRenyi(n, 0.3, seed)
-	case "lollipop":
-		return spantree.Lollipop(n/2, n-n/2)
-	case "bipartite":
-		return spantree.UnbalancedBipartite(n)
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", name)
-	}
 }

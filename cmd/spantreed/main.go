@@ -1,0 +1,361 @@
+// Command spantreed serves the batch spanning-tree sampling engine over
+// HTTP/JSON: register graphs (or generate named families), draw batches of
+// trees with deterministic seed derivation, audit sampler uniformity against
+// exact tree counts, and read engine metrics.
+//
+// Usage:
+//
+//	spantreed -addr :8080 -workers 8
+//
+// Endpoints:
+//
+//	GET    /healthz              liveness probe
+//	GET    /v1/graphs            list registered graphs
+//	POST   /v1/graphs            register: {"key","family","n","seed"} or {"key","n","edges":[[u,v,w?],...]}
+//	GET    /v1/graphs/{key}      one graph's info
+//	DELETE /v1/graphs/{key}      deregister
+//	POST   /v1/sample            {"graph","k","sampler","seed_base","workers","include_trees"}
+//	POST   /v1/audit             same body; adds the TV audit against the exact tree count
+//	GET    /v1/stats             engine + request metrics
+//
+// Batches are byte-identical for a fixed (graph, sampler, seed_base, k)
+// regardless of worker count. The server shuts down gracefully on SIGINT or
+// SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	spantree "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spantreed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	eng, err := spantree.NewEngine(*workers)
+	if err != nil {
+		return err
+	}
+	srv := newServer(eng)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("spantreed listening on %s (workers=%d)", *addr, eng.Workers())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("spantreed shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
+}
+
+// server wires the engine to HTTP handlers and tracks request metrics.
+type server struct {
+	eng      *spantree.Engine
+	started  time.Time
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+func newServer(eng *spantree.Engine) *server {
+	return &server{eng: eng, started: time.Now()}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("GET /v1/graphs/{key}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{key}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/sample", s.handleSample)
+	mux.HandleFunc("POST /v1/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s.count(mux)
+}
+
+// count is the metrics middleware: every request bumps the counter, every
+// non-2xx response the error counter.
+func (s *server) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if rec.status >= 400 {
+			s.errors.Add(1)
+		}
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("spantreed: encoding response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps engine errors onto HTTP statuses: unknown-graph lookups
+// are 404, runtime sampler failures on a well-formed request are 500, and
+// everything else is on the caller (400).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, spantree.ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, spantree.ErrSampleFailed):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// registerRequest admits a graph either as a named family or as an explicit
+// edge list (entries [u, v] or [u, v, weight]).
+type registerRequest struct {
+	Key    string      `json:"key"`
+	Family string      `json:"family,omitempty"`
+	N      int         `json:"n"`
+	Seed   uint64      `json:"seed,omitempty"`
+	Edges  [][]float64 `json:"edges,omitempty"`
+}
+
+func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	switch {
+	case req.Family != "" && len(req.Edges) > 0:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("specify family or edges, not both"))
+		return
+	case req.Family != "":
+		if err := s.eng.RegisterFamily(req.Key, req.Family, req.N, req.Seed); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+	case len(req.Edges) > 0:
+		g, err := graphFromEdges(req.N, req.Edges)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.eng.Register(req.Key, g); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need a family name or an edge list"))
+		return
+	}
+	info, err := s.eng.Info(req.Key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func graphFromEdges(n int, edges [][]float64) (*spantree.Graph, error) {
+	g, err := spantree.NewGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range edges {
+		if len(e) != 2 && len(e) != 3 {
+			return nil, fmt.Errorf("edge %d: want [u, v] or [u, v, weight], got %v", i, e)
+		}
+		u, v := int(e[0]), int(e[1])
+		if float64(u) != e[0] || float64(v) != e[1] {
+			return nil, fmt.Errorf("edge %d: non-integer endpoints %v", i, e)
+		}
+		w := 1.0
+		if len(e) == 3 {
+			w = e[2]
+		}
+		if err := g.AddEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+func (s *server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	keys := s.eng.Keys()
+	infos := make([]spantree.GraphInfo, 0, len(keys))
+	for _, k := range keys {
+		if info, err := s.eng.Info(k); err == nil {
+			infos = append(infos, info)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+func (s *server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	info, err := s.eng.Info(r.PathValue("key"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !s.eng.Deregister(key) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
+}
+
+// sampleRequest is the body of /v1/sample and /v1/audit.
+type sampleRequest struct {
+	Graph        string `json:"graph"`
+	K            int    `json:"k"`
+	Sampler      string `json:"sampler,omitempty"`
+	SeedBase     uint64 `json:"seed_base"`
+	Workers      int    `json:"workers,omitempty"`
+	IncludeTrees bool   `json:"include_trees,omitempty"`
+}
+
+func (r sampleRequest) batch() spantree.BatchRequest {
+	return spantree.BatchRequest{
+		GraphKey: r.Graph,
+		K:        r.K,
+		Sampler:  spantree.Sampler(r.Sampler),
+		SeedBase: r.SeedBase,
+		Workers:  r.Workers,
+	}
+}
+
+type sampleResponse struct {
+	Graph     string                `json:"graph"`
+	Sampler   string                `json:"sampler"`
+	SeedBase  uint64                `json:"seed_base"`
+	Summary   spantree.BatchSummary `json:"summary"`
+	ElapsedMS float64               `json:"elapsed_ms"`
+	Trees     []string              `json:"trees,omitempty"`
+}
+
+func makeSampleResponse(res *spantree.BatchResult, includeTrees bool) sampleResponse {
+	resp := sampleResponse{
+		Graph:     res.GraphKey,
+		Sampler:   string(res.Sampler),
+		SeedBase:  res.SeedBase,
+		Summary:   res.Summary,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if includeTrees {
+		resp.Trees = make([]string, len(res.Trees))
+		for i, t := range res.Trees {
+			resp.Trees[i] = t.Encode()
+		}
+	}
+	return resp
+}
+
+func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
+	var req sampleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	res, err := s.eng.SampleBatch(r.Context(), req.batch())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, makeSampleResponse(res, req.IncludeTrees))
+}
+
+type auditResponse struct {
+	sampleResponse
+	Audit spantree.AuditResult `json:"audit"`
+}
+
+func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req sampleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	res, audit, err := s.eng.Audit(r.Context(), req.batch())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, auditResponse{
+		sampleResponse: makeSampleResponse(res, req.IncludeTrees),
+		Audit:          audit,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":         s.eng.Metrics(),
+		"requests":       s.requests.Load(),
+		"request_errors": s.errors.Load(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}

@@ -1,0 +1,77 @@
+package spantree
+
+import (
+	"context"
+	"testing"
+)
+
+// benchEngineGraph builds the warm-vs-cold benchmark instance: a 96-vertex
+// expander, large enough that the phase-0 precomputation (16 squarings of a
+// 96x96 transition matrix plus their column all-to-alls) is a substantial
+// slice of a cold Sample call. Later phases walk sampler-dependent Schur
+// complements, which no per-graph cache can precompute.
+func benchEngineGraph(b *testing.B) *Graph {
+	b.Helper()
+	g, err := Expander(96, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkEngineWarmVsCold/cold draws each tree with the public Sample
+// call, which rebuilds the per-graph precomputation every time;
+// .../warm draws from an Engine whose registry has the precomputation
+// cached. Same graph, same sampler, same seeds — the gap is exactly the
+// amortized cost the engine exists to eliminate.
+func BenchmarkEngineWarmVsCold(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		g := benchEngineGraph(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Sample(g, WithSeed(uint64(i+1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng, err := NewEngine(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Register("g", benchEngineGraph(b)); err != nil {
+			b.Fatal(err)
+		}
+		// Prime the cache so the measured loop is pure per-sample work.
+		if _, err := eng.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: 1, SeedBase: 0}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: 1, SeedBase: uint64(i + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineBatchThroughput measures whole batches on the default
+// worker pool — the serving path's unit of work.
+func BenchmarkEngineBatchThroughput(b *testing.B) {
+	eng, err := NewEngine(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Register("g", benchEngineGraph(b)); err != nil {
+		b.Fatal(err)
+	}
+	const k = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: k, SeedBase: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(k)/res.Elapsed.Seconds(), "trees/s")
+	}
+}

@@ -161,6 +161,37 @@ func (s *Sim) ChargeRounds(k int, why string) error {
 	return nil
 }
 
+// ChargeSuperstep records the accounting of a superstep whose dataflow is
+// known without being re-executed, for replaying cached computations (see
+// mm.ReplayDyadicTable): rounds are charged from the per-machine word load
+// exactly as Superstep charges them, the superstep and word counters advance
+// identically, and inboxes are cleared just as a real superstep emitting no
+// forward messages would leave them. The trace entry (when enabled) records
+// maxLoad as both send and receive load.
+func (s *Sim) ChargeSuperstep(name string, maxLoad int, totalWords int64) error {
+	if maxLoad < 0 || totalWords < 0 {
+		return fmt.Errorf("clique: negative superstep charge (%d load, %d words)", maxLoad, totalWords)
+	}
+	rounds := 1
+	if maxLoad > s.n {
+		rounds = (maxLoad + s.n - 1) / s.n
+	}
+	s.clearInboxes()
+	s.rounds += rounds
+	s.supersteps++
+	s.totalWords += totalWords
+	if s.traceStats {
+		s.stats = append(s.stats, StepStat{
+			Name:       name,
+			Rounds:     rounds,
+			MaxSend:    maxLoad,
+			MaxRecv:    maxLoad,
+			TotalWords: int(totalWords),
+		})
+	}
+	return nil
+}
+
 // Superstep runs one bulk-synchronous step: every machine's fn consumes its
 // inbox and produces outgoing messages; the simulator validates
 // destinations, charges rounds from the maximum per-machine send/receive

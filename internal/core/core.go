@@ -35,7 +35,15 @@ func Sample(g *graph.Graph, cfg Config, src *prng.Source) (*spanning.Tree, *Stat
 	if !g.IsConnected() {
 		return nil, nil, fmt.Errorf("core: graph must be connected")
 	}
+	return sampleLoop(g, cfg, src, nil)
+}
 
+// sampleLoop runs the phase loop on a validated instance (n >= 2, cfg with
+// defaults applied, g connected, src non-nil). A non-nil warm supplies the
+// cached phase-0 state of Prepare; nil recomputes everything in-simulation,
+// the original cold path.
+func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared) (*spanning.Tree, *Stats, error) {
+	n := g.N()
 	sim := clique.MustNew(n)
 	stats := &Stats{}
 
@@ -75,7 +83,7 @@ func Sample(g *graph.Graph, cfg Config, src *prng.Source) (*spanning.Tree, *Stat
 		var runner *phaseRunner
 		segStart := start
 		for segment := 0; ; segment++ {
-			r, err := newPhaseRunner(sim, g, cfg, sub, segStart, phase, preSeen, phaseSrc.Split(uint64(segment)), stats)
+			r, err := newPhaseRunner(sim, g, cfg, sub, segStart, phase, preSeen, phaseSrc.Split(uint64(segment)), stats, warm)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: phase %d: %w", phase, err)
 			}

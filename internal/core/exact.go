@@ -31,7 +31,13 @@ import (
 // Overrides in cfg other than Rho, DirectPlacement, LasVegas and TruncDelta
 // are honored.
 func SampleExact(g *graph.Graph, cfg Config, src *prng.Source) (*spanning.Tree, *Stats, error) {
-	n := g.N()
+	return Sample(g, exactConfig(g.N(), cfg), src)
+}
+
+// exactConfig applies the appendix variant's overrides to cfg: the n^(2/3)
+// distinct-vertex budget, Las Vegas walk extension, direct placement, and
+// full precision. Shared by SampleExact and PrepareExact.
+func exactConfig(n int, cfg Config) Config {
 	if cfg.Rho == 0 && n >= 1 {
 		cfg.Rho = int(math.Cbrt(float64(n)) * math.Cbrt(float64(n)))
 		if cfg.Rho < 2 {
@@ -41,7 +47,7 @@ func SampleExact(g *graph.Graph, cfg Config, src *prng.Source) (*spanning.Tree, 
 	cfg.DirectPlacement = true
 	cfg.LasVegas = true
 	cfg.TruncDelta = 0
-	return Sample(g, cfg, src)
+	return cfg
 }
 
 // ExactRho returns the appendix's distinct-vertex budget ⌊n^(2/3)⌋ (at

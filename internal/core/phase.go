@@ -87,35 +87,55 @@ type phaseRunner struct {
 
 // newPhaseRunner prepares a phase: transition matrix of Schur(G, S),
 // shortcut matrix, dyadic power table (with round charging), and the
-// initial two-vertex partial walk.
-func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, startGlobal int, phaseIdx int, preSeen map[int]struct{}, src *prng.Source, stats *Stats) (*phaseRunner, error) {
+// initial two-vertex partial walk. A non-nil warm carries Prepare's cached
+// phase-0 state: phase 0 always walks the full vertex set, so its shortcut
+// matrix and power table are per-graph constants that only the charging (not
+// the numeric work) needs to be replayed for.
+func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, startGlobal int, phaseIdx int, preSeen map[int]struct{}, src *prng.Source, stats *Stats, warm *Prepared) (*phaseRunner, error) {
 	startLocal, err := sub.LocalIndex(startGlobal)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase start vertex: %w", err)
 	}
-	smat, err := schur.Transition(g, sub)
-	if err != nil {
-		return nil, fmt.Errorf("core: schur transition: %w", err)
-	}
-	q, err := schur.ShortcutTransition(g, sub)
-	if err != nil {
-		return nil, fmt.Errorf("core: shortcut transition: %w", err)
-	}
 	maxExp := int(math.Log2(float64(cfg.WalkLength)) + 0.5)
-	if phaseIdx > 0 {
-		// Corollaries 2-3: the Schur and shortcut matrices are computed by
-		// O(log(n^3/δ)) repeated squarings of a 2n-dimensional augmented
-		// chain; charge the backend's cost for them. Phase 1 walks on G
-		// itself and needs neither (§2.2: "short-cutting applies only
-		// after the first phase").
-		dim := 2 * g.N()
-		if err := sim.ChargeRounds(maxExp*cfg.Backend.CostRounds(dim), "schur+shortcut"); err != nil {
-			return nil, err
+	var q *matrix.Matrix
+	var pd *matrix.PowerDyadic
+	// The cached table is usable only under the Fast backend, whose Mul is
+	// the same local matrix.Mul the cache was built with and whose round
+	// charge ReplayDyadicTable reproduces exactly. The dataflow backends
+	// (naive, semiring3d) route real words through the simulator and may
+	// accumulate in a different order, so they always take the cold path —
+	// identical numerics and accounting, no caching benefit.
+	_, fastBackend := cfg.Backend.(mm.Fast)
+	if warm != nil && fastBackend && phaseIdx == 0 && sub.Size() == g.N() {
+		q = warm.q0
+		pd = warm.pd0
+		if err := mm.ReplayDyadicTable(sim, cfg.Backend, pd); err != nil {
+			return nil, fmt.Errorf("core: replaying dyadic power table: %w", err)
 		}
-	}
-	pd, err := mm.DyadicTable(sim, cfg.Backend, smat, maxExp, cfg.TruncDelta)
-	if err != nil {
-		return nil, fmt.Errorf("core: dyadic power table: %w", err)
+	} else {
+		smat, err := schur.Transition(g, sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: schur transition: %w", err)
+		}
+		q, err = schur.ShortcutTransition(g, sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: shortcut transition: %w", err)
+		}
+		if phaseIdx > 0 {
+			// Corollaries 2-3: the Schur and shortcut matrices are computed by
+			// O(log(n^3/δ)) repeated squarings of a 2n-dimensional augmented
+			// chain; charge the backend's cost for them. Phase 1 walks on G
+			// itself and needs neither (§2.2: "short-cutting applies only
+			// after the first phase").
+			dim := 2 * g.N()
+			if err := sim.ChargeRounds(maxExp*cfg.Backend.CostRounds(dim), "schur+shortcut"); err != nil {
+				return nil, err
+			}
+		}
+		pd, err = mm.DyadicTable(sim, cfg.Backend, smat, maxExp, cfg.TruncDelta)
+		if err != nil {
+			return nil, fmt.Errorf("core: dyadic power table: %w", err)
+		}
 	}
 
 	rho := cfg.Rho

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spanning"
+	"repro/internal/stats"
+)
+
+// Distribution summarizes one integer cost metric across a batch.
+type Distribution struct {
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	Total int64   `json:"total"`
+}
+
+// fold accumulates one observation.
+func (d *Distribution) fold(v int64, first bool) {
+	if first || v < d.Min {
+		d.Min = v
+	}
+	if first || v > d.Max {
+		d.Max = v
+	}
+	d.Total += v
+}
+
+// Summary is the aggregation of a batch's per-sample Stats and trees: the
+// round-cost distributions the paper's experiments compare, plus the tree
+// diversity counters the uniformity audit builds on.
+type Summary struct {
+	Samples       int          `json:"samples"`
+	DistinctTrees int          `json:"distinct_trees"`
+	Rounds        Distribution `json:"rounds"`
+	Supersteps    Distribution `json:"supersteps"`
+	TotalWords    Distribution `json:"total_words"`
+	Phases        Distribution `json:"phases"`
+	WalkSteps     Distribution `json:"walk_steps"`
+}
+
+// Summarize folds per-sample stats and trees into a Summary.
+func Summarize(trees []*spanning.Tree, sts []core.Stats) Summary {
+	s := Summary{Samples: len(trees)}
+	seen := make(map[string]struct{}, len(trees))
+	for _, t := range trees {
+		if t != nil {
+			seen[t.Encode()] = struct{}{}
+		}
+	}
+	s.DistinctTrees = len(seen)
+	for i, st := range sts {
+		first := i == 0
+		s.Rounds.fold(int64(st.Rounds), first)
+		s.Supersteps.fold(int64(st.Supersteps), first)
+		s.TotalWords.fold(st.TotalWords, first)
+		s.Phases.fold(int64(st.Phases), first)
+		s.WalkSteps.fold(int64(st.WalkSteps), first)
+	}
+	if n := len(sts); n > 0 {
+		s.Rounds.Mean = float64(s.Rounds.Total) / float64(n)
+		s.Supersteps.Mean = float64(s.Supersteps.Total) / float64(n)
+		s.TotalWords.Mean = float64(s.TotalWords.Total) / float64(n)
+		s.Phases.Mean = float64(s.Phases.Total) / float64(n)
+		s.WalkSteps.Mean = float64(s.WalkSteps.Total) / float64(n)
+	}
+	return s
+}
+
+// auditCountLimit bounds the tree counts an audit accepts: the TV estimate
+// needs the empirical distribution to resolve individual trees, which is
+// hopeless (and the uniform reference meaningless) once the support dwarfs
+// any feasible sample size.
+const auditCountLimit = 1 << 40
+
+// AuditBatch measures the total variation distance between a batch's
+// empirical tree distribution and the uniform distribution over the graph's
+// exactly counted spanning trees — the engine-level version of
+// spanning.Audit, reusing the batch's already-drawn trees and the registry's
+// cached tree count. Every tree is validated against the graph.
+func (e *Engine) AuditBatch(res *BatchResult) (spanning.AuditResult, error) {
+	if res == nil || len(res.Trees) == 0 {
+		return spanning.AuditResult{}, fmt.Errorf("engine: audit of empty batch")
+	}
+	ent, err := e.reg.get(res.GraphKey)
+	if err != nil {
+		return spanning.AuditResult{}, err
+	}
+	count, err := ent.treeCount()
+	if err != nil {
+		return spanning.AuditResult{}, err
+	}
+	if !count.IsInt64() || count.Int64() <= 0 || count.Int64() > auditCountLimit {
+		return spanning.AuditResult{}, fmt.Errorf("engine: graph %q has %v spanning trees, beyond the audit limit %d", res.GraphKey, count, int64(auditCountLimit))
+	}
+	emp := stats.NewEmpirical()
+	for i, tr := range res.Trees {
+		if tr == nil || !tr.IsSpanningTreeOf(ent.g) {
+			return spanning.AuditResult{}, fmt.Errorf("engine: batch tree %d is not a spanning tree of %q", i, res.GraphKey)
+		}
+		emp.Add(tr.Encode())
+	}
+	tv, err := emp.TVFromUniform(int(count.Int64()))
+	if err != nil {
+		return spanning.AuditResult{}, err
+	}
+	return spanning.AuditResult{
+		Samples:      len(res.Trees),
+		TreeCount:    count.Int64(),
+		DistinctSeen: emp.Support(),
+		TV:           tv,
+		Noise:        stats.UniformTVSamplingNoise(len(res.Trees), int(count.Int64())),
+	}, nil
+}
+
+// Audit runs a batch and audits it in one call — the serving layer's
+// "audit uniformity" endpoint.
+func (e *Engine) Audit(ctx context.Context, req BatchRequest) (*BatchResult, spanning.AuditResult, error) {
+	res, err := e.SampleBatch(ctx, req)
+	if err != nil {
+		return nil, spanning.AuditResult{}, err
+	}
+	audit, err := e.AuditBatch(res)
+	if err != nil {
+		return nil, spanning.AuditResult{}, err
+	}
+	return res, audit, nil
+}

@@ -1,0 +1,183 @@
+// Package engine is the concurrent batch-sampling engine behind the
+// spantree.Engine API and the spantreed server: a registry of graphs keyed
+// by name with cached, immutable per-graph precomputation (core.Prepared
+// state, spanning tree counts), a worker pool executing batch sampling jobs
+// with deterministic per-sample seed derivation, and an aggregation layer
+// folding per-sample Stats into batch summaries.
+//
+// The engine exists because tree sampling is a repeated-query primitive:
+// sparsification, random-walk estimation, and uniformity audits all draw
+// many trees from the same graph, so the per-graph work (adjacency
+// normalization, transition tables, the phase-0 dyadic power table that
+// dominates a run's numeric cost) is paid once at registration and shared —
+// read-only — by every concurrent sample thereafter.
+//
+// Determinism is a hard contract: sample i of a batch uses a randomness
+// stream derived solely from (seed base, i), never from scheduling, so a
+// batch's output is byte-identical whether it runs on one worker or many.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/aldous"
+	"repro/internal/core"
+	"repro/internal/doubling"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+// ErrUnknownGraph marks lookups of unregistered graph keys; serving layers
+// map it to 404.
+var ErrUnknownGraph = errors.New("engine: unknown graph")
+
+// ErrSampleFailed marks a batch aborted by a sampler's runtime failure (as
+// opposed to a malformed request); serving layers map it to 500.
+var ErrSampleFailed = errors.New("engine: sampling failed")
+
+// Sampler names a tree-sampling algorithm the engine can run.
+type Sampler string
+
+// The samplers the engine dispatches to. Phase and Exact run warm on cached
+// per-graph precomputation; the rest are cheap enough per call that there is
+// nothing graph-level to reuse.
+const (
+	// SamplerPhase is the Theorem 1 approximate sampler (core.Sample).
+	SamplerPhase Sampler = "phase"
+	// SamplerExact is the appendix's exactly uniform variant.
+	SamplerExact Sampler = "exact"
+	// SamplerLowCover is the Corollary 1 load-balanced doubling sampler.
+	SamplerLowCover Sampler = "doubling"
+	// SamplerAldousBroder is the sequential Aldous-Broder baseline.
+	SamplerAldousBroder Sampler = "aldous"
+	// SamplerWilson is Wilson's loop-erased walk sampler.
+	SamplerWilson Sampler = "wilson"
+	// SamplerMST is the biased §1.4 random-weight MST strawman.
+	SamplerMST Sampler = "mst"
+)
+
+// Samplers lists every valid Sampler value.
+func Samplers() []Sampler {
+	return []Sampler{SamplerPhase, SamplerExact, SamplerLowCover, SamplerAldousBroder, SamplerWilson, SamplerMST}
+}
+
+func validSampler(s Sampler) bool {
+	for _, known := range Samplers() {
+		if s == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the default worker-pool width for batch jobs (default:
+	// GOMAXPROCS). Individual batch requests may override it.
+	Workers int
+	// Config is the sampler configuration used for the phase and exact
+	// samplers (zero value: the paper's defaults at each graph's size).
+	Config core.Config
+}
+
+// Engine is a registry of graphs plus a worker pool for batch sampling.
+// All methods are safe for concurrent use.
+type Engine struct {
+	reg     registry
+	workers int
+	cfg     core.Config
+
+	batches atomic.Int64
+	samples atomic.Int64
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: w, cfg: opts.Config}
+	e.reg.init()
+	return e
+}
+
+// Workers reports the default worker-pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Metrics is a snapshot of the engine's cumulative counters.
+type Metrics struct {
+	Graphs  int   `json:"graphs"`
+	Batches int64 `json:"batches"`
+	Samples int64 `json:"samples"`
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Graphs:  e.reg.size(),
+		Batches: e.batches.Load(),
+		Samples: e.samples.Load(),
+	}
+}
+
+// sampleOne dispatches one draw of the requested sampler on the entry's
+// graph, reusing the entry's cached precomputation where the sampler has
+// any. The returned Stats is zero-valued for the sequential baselines, which
+// run outside the simulated clique.
+func (e *Engine) sampleOne(ent *entry, sampler Sampler, src *prng.Source) (*spanning.Tree, *core.Stats, error) {
+	switch sampler {
+	case SamplerPhase:
+		prep, err := ent.prepared(e.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return prep.Sample(src)
+	case SamplerExact:
+		prep, err := ent.preparedExact(e.cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return prep.Sample(src)
+	case SamplerLowCover:
+		tree, st, err := doubling.SampleTree(ent.g, doubling.TreeConfig{}, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tree, &core.Stats{
+			Rounds:     st.Rounds,
+			Supersteps: st.Supersteps,
+			TotalWords: st.TotalWords,
+			WalkSteps:  st.WalkSteps,
+		}, nil
+	case SamplerAldousBroder:
+		n := ent.g.N()
+		maxSteps := 100 * n * n * n // well beyond the O(mn) cover-time bound
+		if maxSteps < 1_000_000 {
+			maxSteps = 1_000_000
+		}
+		tree, err := aldous.AldousBroder(ent.g, 0, maxSteps, src)
+		return tree, &core.Stats{}, err
+	case SamplerWilson:
+		tree, err := aldous.Wilson(ent.g, 0, src)
+		return tree, &core.Stats{}, err
+	case SamplerMST:
+		tree, err := aldous.RandomWeightMST(ent.g, src)
+		return tree, &core.Stats{}, err
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown sampler %q (known: %v)", sampler, Samplers())
+	}
+}
+
+// Graph returns the registered graph under key.
+func (e *Engine) Graph(key string) (*graph.Graph, error) {
+	ent, err := e.reg.get(key)
+	if err != nil {
+		return nil, err
+	}
+	return ent.g, nil
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+// entry is one registered graph plus its lazily built, immutable
+// precomputation. The graph itself is frozen at registration (the registry
+// hands out the same *graph.Graph to every sampler, so callers must not
+// mutate it — Register documents this contract). Each cached artifact is
+// built at most once under its sync.Once and is read-only afterwards, which
+// is what makes concurrent batches on a shared entry race-free.
+type entry struct {
+	key string
+	g   *graph.Graph
+
+	phaseOnce sync.Once
+	phase     *core.Prepared
+	phaseErr  error
+
+	exactOnce sync.Once
+	exact     *core.Prepared
+	exactErr  error
+
+	countOnce sync.Once
+	count     atomic.Pointer[big.Int] // published by treeCount for lock-free Info reads
+	countErr  error
+}
+
+// prepared returns the entry's cached phase-sampler precomputation,
+// building it on first use.
+func (ent *entry) prepared(cfg core.Config) (*core.Prepared, error) {
+	ent.phaseOnce.Do(func() {
+		ent.phase, ent.phaseErr = core.Prepare(ent.g, cfg)
+	})
+	return ent.phase, ent.phaseErr
+}
+
+// preparedExact is prepared for the appendix's exact variant, which uses a
+// different distinct-vertex budget and therefore its own power table.
+func (ent *entry) preparedExact(cfg core.Config) (*core.Prepared, error) {
+	ent.exactOnce.Do(func() {
+		ent.exact, ent.exactErr = core.PrepareExact(ent.g, cfg)
+	})
+	return ent.exact, ent.exactErr
+}
+
+// treeCount returns the exact spanning tree count (Matrix-Tree), cached.
+func (ent *entry) treeCount() (*big.Int, error) {
+	ent.countOnce.Do(func() {
+		c, err := spanning.Count(ent.g)
+		ent.countErr = err
+		if err == nil {
+			ent.count.Store(c)
+		}
+	})
+	return ent.count.Load(), ent.countErr
+}
+
+// registry is the keyed graph store. Registration is rare and cheap;
+// lookups are the hot path, so reads take an RWMutex read lock only.
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+func (r *registry) init() { r.entries = map[string]*entry{} }
+
+func (r *registry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+func (r *registry) get(key string) (*entry, error) {
+	r.mu.RLock()
+	ent, ok := r.entries[key]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, key)
+	}
+	return ent, nil
+}
+
+func (r *registry) add(key string, g *graph.Graph) error {
+	if key == "" {
+		return fmt.Errorf("engine: empty graph key")
+	}
+	if g == nil {
+		return fmt.Errorf("engine: nil graph")
+	}
+	if !g.IsConnected() {
+		return fmt.Errorf("engine: graph %q must be connected", key)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.entries[key]; exists {
+		return fmt.Errorf("engine: graph %q already registered", key)
+	}
+	r.entries[key] = &entry{key: key, g: g}
+	return nil
+}
+
+func (r *registry) remove(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[key]; !ok {
+		return false
+	}
+	delete(r.entries, key)
+	return true
+}
+
+func (r *registry) keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register admits g under key. The engine takes ownership of g: callers
+// must not mutate it afterwards, since cached precomputation and concurrent
+// samplers alias it. Registration fails for empty keys, nil or disconnected
+// graphs, and duplicate keys.
+func (e *Engine) Register(key string, g *graph.Graph) error {
+	return e.reg.add(key, g)
+}
+
+// RegisterFamily builds the named graph family at (approximately) n
+// vertices — deterministically in seed for the random families — and
+// registers it under key.
+func (e *Engine) RegisterFamily(key, family string, n int, seed uint64) error {
+	g, err := graph.FromFamily(family, n, prng.New(seed))
+	if err != nil {
+		return err
+	}
+	return e.reg.add(key, g)
+}
+
+// Deregister removes the graph under key, reporting whether it existed.
+// In-flight batches holding the entry finish unaffected.
+func (e *Engine) Deregister(key string) bool { return e.reg.remove(key) }
+
+// Keys lists the registered graph keys, sorted.
+func (e *Engine) Keys() []string { return e.reg.keys() }
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	Key      string `json:"key"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// TreeCount is the exact spanning tree count as a decimal string, when
+	// it has already been computed by an audit; empty otherwise (counting is
+	// lazy — it is O(n^3) work the sampling path never needs).
+	TreeCount string `json:"tree_count,omitempty"`
+}
+
+// Info returns a description of the graph under key.
+func (e *Engine) Info(key string) (GraphInfo, error) {
+	ent, err := e.reg.get(key)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	info := GraphInfo{Key: ent.key, Vertices: ent.g.N(), Edges: ent.g.M()}
+	if c := ent.count.Load(); c != nil {
+		info.TreeCount = c.String()
+	}
+	return info, nil
+}
+
+// TreeCount returns the exact number of spanning trees of the graph under
+// key (Matrix-Tree theorem), computing and caching it on first use.
+func (e *Engine) TreeCount(key string) (*big.Int, error) {
+	ent, err := e.reg.get(key)
+	if err != nil {
+		return nil, err
+	}
+	return ent.treeCount()
+}

@@ -60,6 +60,41 @@ func DyadicTable(sim *clique.Sim, backend Backend, p *matrix.Matrix, maxExp int,
 	return &matrix.PowerDyadic{Pows: pows, Delta: delta}, nil
 }
 
+// ReplayDyadicTable charges the communication of DyadicTable for a power
+// table that was already computed offline (core.Prepare caches the phase-0
+// table per graph so repeated samples skip the numeric squarings). Each
+// skipped squaring is charged at the backend's predicted cost and each
+// per-power column redistribution as an accounting-only superstep with the
+// exact word loads the real all-to-all moves (every machine sends and
+// receives one row/column of d words).
+//
+// The replay is charge-exact only for the Fast backend, whose Mul charges
+// precisely CostRounds(d) and computes locally; the dataflow backends run
+// real supersteps a charge cannot reproduce, so callers must not replay
+// them (core gates its warm path on mm.Fast accordingly).
+func ReplayDyadicTable(sim *clique.Sim, backend Backend, pd *matrix.PowerDyadic) error {
+	if backend == nil {
+		return fmt.Errorf("mm: nil backend")
+	}
+	if len(pd.Pows) == 0 {
+		return fmt.Errorf("mm: replay of empty dyadic table")
+	}
+	d := pd.Pows[0].Rows()
+	words := int64(d) * int64(d)
+	if err := sim.ChargeSuperstep("mm/column-distribute", d, words); err != nil {
+		return err
+	}
+	for e := 1; e < len(pd.Pows); e++ {
+		if err := sim.ChargeRounds(backend.CostRounds(d), "fast-matmul"); err != nil {
+			return err
+		}
+		if err := sim.ChargeSuperstep("mm/column-distribute", d, words); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // distributeColumns performs the Algorithm 1 step 3 all-to-all for one
 // matrix: machine i sends entry [i,j] to machine j, a balanced exchange of
 // one word per ordered machine pair (1 round). After it, machine j holds

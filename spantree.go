@@ -31,6 +31,7 @@ import (
 	"repro/internal/aldous"
 	"repro/internal/core"
 	"repro/internal/doubling"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mm"
@@ -74,6 +75,16 @@ var (
 	Lollipop            = graph.Lollipop
 	Barbell             = graph.Barbell
 )
+
+// BuildFamily constructs a named graph family at (approximately) n vertices
+// — the same names cmd/spantree and the spantreed server accept. Random
+// families (er, regular, expander) are deterministic in seed.
+func BuildFamily(family string, n int, seed uint64) (*Graph, error) {
+	return graph.FromFamily(family, n, prng.New(seed))
+}
+
+// FamilyNames lists the families BuildFamily can construct.
+func FamilyNames() []string { return graph.FamilyNames() }
 
 // ErdosRenyi samples a connected G(n, p) graph.
 func ErdosRenyi(n int, p float64, seed uint64) (*Graph, error) {
@@ -306,4 +317,62 @@ func AuditWeighted(g *Graph, samples, enumLimit int, sample func() (*Tree, error
 // — the unnormalized probability footnote 1 assigns the tree.
 func TreeWeight(g *Graph, t *Tree) (float64, error) {
 	return spanning.TreeWeight(g, t)
+}
+
+// Engine is the concurrent batch-sampling engine: a registry of graphs with
+// cached per-graph precomputation (the phase-0 power table a cold Sample
+// rebuilds on every call) plus a worker pool executing batch jobs with
+// deterministic per-sample seed derivation. Construct with NewEngine; see
+// internal/engine for the full method set (Register, RegisterFamily,
+// SampleBatch, Audit, TreeCount, Metrics, ...). cmd/spantreed serves this
+// engine over HTTP.
+type Engine = engine.Engine
+
+// Sampler names a tree-sampling algorithm an Engine batch can run.
+type Sampler = engine.Sampler
+
+// The samplers an Engine dispatches to.
+const (
+	SamplerPhase        = engine.SamplerPhase
+	SamplerExact        = engine.SamplerExact
+	SamplerLowCover     = engine.SamplerLowCover
+	SamplerAldousBroder = engine.SamplerAldousBroder
+	SamplerWilson       = engine.SamplerWilson
+	SamplerMST          = engine.SamplerMST
+)
+
+// BatchRequest describes one engine batch job.
+type BatchRequest = engine.BatchRequest
+
+// BatchResult is a completed engine batch.
+type BatchResult = engine.BatchResult
+
+// BatchSummary aggregates a batch's per-sample statistics.
+type BatchSummary = engine.Summary
+
+// EngineMetrics is a snapshot of an Engine's cumulative counters.
+type EngineMetrics = engine.Metrics
+
+// GraphInfo describes one graph registered in an Engine.
+type GraphInfo = engine.GraphInfo
+
+// Engine error sentinels, for errors.Is dispatch in serving layers:
+// ErrUnknownGraph marks lookups of unregistered keys (HTTP 404);
+// ErrSampleFailed marks a batch aborted by a sampler's runtime failure on a
+// well-formed request (HTTP 500).
+var (
+	ErrUnknownGraph = engine.ErrUnknownGraph
+	ErrSampleFailed = engine.ErrSampleFailed
+)
+
+// NewEngine returns a batch-sampling engine. workers <= 0 defaults the pool
+// width to GOMAXPROCS. The options configure the phase and exact samplers
+// exactly as they do Sample; WithSeed is ignored — batch requests carry
+// their own seed bases.
+func NewEngine(workers int, opts ...Option) (*Engine, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(engine.Options{Workers: workers, Config: o.cfg}), nil
 }
