@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,26 +44,18 @@ func run() error {
 		return err
 	}
 
-	var (
-		tree  *spantree.Tree
-		stats *spantree.Stats
-	)
-	switch *algo {
-	case "phase":
-		tree, stats, err = spantree.Sample(g, spantree.WithSeed(*seed), spantree.WithBackend(*backend))
-	case "exact":
-		tree, stats, err = spantree.SampleExact(g, spantree.WithSeed(*seed), spantree.WithBackend(*backend))
-	case "doubling":
-		tree, stats, err = spantree.SampleLowCoverTime(g, spantree.WithSeed(*seed))
-	case "aldous":
-		tree, err = spantree.SampleAldousBroder(g, *seed)
-	case "wilson":
-		tree, err = spantree.SampleWilson(g, *seed)
-	case "mst":
-		tree, err = spantree.SampleMSTStrawman(g, *seed)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	// The Session idiom: prepare the graph once, then dispatch on a typed
+	// SamplerSpec — the algorithm names double as Sampler values, and an
+	// unknown one fails spec validation with the known list.
+	spec := spantree.SpecFor(spantree.Sampler(*algo))
+	if err := spec.Validate(); err != nil {
+		return err
 	}
+	sess, err := spantree.Prepare(g, spantree.WithBackend(*backend))
+	if err != nil {
+		return err
+	}
+	tree, stats, err := sess.Sample(context.Background(), spec, *seed)
 	if err != nil {
 		return err
 	}
@@ -77,7 +70,9 @@ func run() error {
 		fmt.Printf("spanning trees (Matrix-Tree): %s\n", count)
 	}
 	fmt.Printf("sampled tree: %s\n", tree.Encode())
-	if stats != nil {
+	// The sequential baselines run outside the simulated clique and report
+	// zero-valued stats; skip the cost block for them.
+	if stats != nil && (stats.Rounds > 0 || stats.Supersteps > 0) {
 		fmt.Printf("simulated rounds: %d  supersteps: %d  words: %d\n", stats.Rounds, stats.Supersteps, stats.TotalWords)
 		if stats.Phases > 0 {
 			fmt.Printf("phases: %d  levels: %d  walk steps: %d\n", stats.Phases, stats.Levels, stats.WalkSteps)

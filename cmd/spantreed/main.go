@@ -12,15 +12,19 @@
 //	GET    /healthz              liveness probe
 //	GET    /v1/graphs            list registered graphs
 //	POST   /v1/graphs            register: {"key","family","n","seed"} or {"key","n","edges":[[u,v,w?],...]}
-//	GET    /v1/graphs/{key}      one graph's info
-//	DELETE /v1/graphs/{key}      deregister
-//	POST   /v1/sample            {"graph","k","sampler","seed_base","workers","include_trees"}
-//	POST   /v1/audit             same body; adds the TV audit against the exact tree count
-//	GET    /v1/stats             engine + request metrics
+//	GET    /v1/graphs/{key}        one graph's info
+//	DELETE /v1/graphs/{key}        deregister
+//	POST   /v1/graphs/{key}/stream NDJSON stream: one result line per sample as workers finish
+//	POST   /v1/sample              {"graph","k","sampler","seed_base","workers","include_trees"}
+//	POST   /v1/audit               same body; adds the TV audit against the exact tree count
+//	GET    /v1/stats               engine + request metrics
 //
-// Batches are byte-identical for a fixed (graph, sampler, seed_base, k)
-// regardless of worker count. The server shuts down gracefully on SIGINT or
-// SIGTERM, draining in-flight requests.
+// Batches are byte-identical for a fixed (graph, sampler spec, seed_base, k)
+// regardless of worker count; stream lines may arrive out of index order but
+// each index always carries the same tree. Request cancellation is honest:
+// a client that disconnects mid-batch aborts its in-flight work instead of
+// burning the pool. The server shuts down gracefully on SIGINT or SIGTERM,
+// draining in-flight requests.
 package main
 
 import (
@@ -106,6 +110,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	mux.HandleFunc("GET /v1/graphs/{key}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{key}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{key}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/sample", s.handleSample)
 	mux.HandleFunc("POST /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -152,12 +157,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // statusFor maps engine errors onto HTTP statuses: unknown-graph lookups
-// are 404, runtime sampler failures on a well-formed request are 500, and
-// everything else is on the caller (400).
+// are 404, unknown-sampler specs and everything else malformed are on the
+// caller (400), and runtime sampler failures on a well-formed request are
+// 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, spantree.ErrUnknownGraph):
 		return http.StatusNotFound
+	case errors.Is(err, spantree.ErrUnknownSampler):
+		return http.StatusBadRequest
 	case errors.Is(err, spantree.ErrSampleFailed):
 		return http.StatusInternalServerError
 	default:
@@ -349,6 +357,125 @@ func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		sampleResponse: makeSampleResponse(res, req.IncludeTrees),
 		Audit:          audit,
 	})
+}
+
+// streamRequest is the body of /v1/graphs/{key}/stream: a typed sampler
+// spec (name + per-sampler knobs) instead of /v1/sample's bare string.
+type streamRequest struct {
+	K             int    `json:"k"`
+	Sampler       string `json:"sampler,omitempty"`
+	SegmentLength int    `json:"segment_length,omitempty"`
+	MaxSteps      int    `json:"max_steps,omitempty"`
+	Root          int    `json:"root,omitempty"`
+	SeedBase      uint64 `json:"seed_base"`
+	Workers       int    `json:"workers,omitempty"`
+}
+
+func (r streamRequest) stream() spantree.StreamRequest {
+	return spantree.StreamRequest{
+		K: r.K,
+		Spec: spantree.SamplerSpec{
+			Name:          spantree.Sampler(r.Sampler),
+			SegmentLength: r.SegmentLength,
+			MaxSteps:      r.MaxSteps,
+			Root:          r.Root,
+		},
+		SeedBase: r.SeedBase,
+		Workers:  r.Workers,
+	}
+}
+
+// streamLine is one NDJSON line of a stream response: a per-sample result
+// (lines arrive in completion order; index is the determinism key), or the
+// terminal line carrying either done+summary fields or an error.
+type streamLine struct {
+	Index      *int   `json:"index,omitempty"`
+	Tree       string `json:"tree,omitempty"`
+	Rounds     int    `json:"rounds,omitempty"`
+	Supersteps int    `json:"supersteps,omitempty"`
+	TotalWords int64  `json:"total_words,omitempty"`
+	WalkSteps  int    `json:"walk_steps,omitempty"`
+
+	Done      bool    `json:"done,omitempty"`
+	Samples   int     `json:"samples,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// handleStream serves a batch as NDJSON, one line per sample as workers
+// finish. The stream runs under the request context, so a client that
+// disconnects mid-batch aborts its remaining work. The 200 status is not
+// committed until the first sample arrives — a stream that fails before
+// producing anything still gets a real error status; failures after the
+// first line arrive as a terminal {"error": ...} line instead.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req streamRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	sess, err := s.eng.Open(r.PathValue("key"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	st, err := sess.Stream(r.Context(), req.stream())
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	delivered := 0
+	headerWritten := false
+	for res := range st.Results() {
+		if !headerWritten {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			headerWritten = true
+		}
+		i := res.Index
+		line := streamLine{
+			Index:      &i,
+			Tree:       res.Tree.Encode(),
+			Rounds:     res.Stats.Rounds,
+			Supersteps: res.Stats.Supersteps,
+			TotalWords: res.Stats.TotalWords,
+			WalkSteps:  res.Stats.WalkSteps,
+		}
+		if err := enc.Encode(line); err != nil {
+			// The client is gone; r.Context() cancellation is already
+			// aborting the stream. Drain the channel so workers unblock.
+			for range st.Results() {
+			}
+			break
+		}
+		delivered++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	streamErr := st.Err()
+	if !headerWritten {
+		// Nothing was delivered: the status can still tell the truth.
+		if streamErr != nil {
+			writeError(w, statusFor(streamErr), streamErr)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	final := streamLine{Samples: delivered, ElapsedMS: float64(time.Since(start).Microseconds()) / 1000}
+	if streamErr != nil {
+		final.Error = streamErr.Error()
+	} else {
+		final.Done = true
+	}
+	if err := enc.Encode(final); err == nil && flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,7 +1,8 @@
-// Example engine: batch sampling through spantree.Engine — the cached,
-// concurrent counterpart of calling Sample in a loop. Registering the graph
-// pays its precomputation once; every batch after that reuses it, and batch
-// output is deterministic in the seed base at any worker count.
+// Example engine: the Session API — prepared graphs as first-class handles,
+// typed SamplerSpec dispatch, and streaming batches. Registering the graph
+// pays its precomputation once; every session request after that reuses it,
+// and the tree at each index is deterministic in the seed base at any worker
+// count even though stream results arrive in completion order.
 package main
 
 import (
@@ -12,20 +13,25 @@ import (
 )
 
 func main() {
-	// One-shot: sample a tree of an expander on the simulated clique.
+	// One-shot: prepare a session on an expander and draw a tree on the
+	// simulated clique. (spantree.Sample does exactly this internally.)
 	g, err := spantree.Expander(64, 7)
 	if err != nil {
 		panic(err)
 	}
-	tree, stats, err := spantree.Sample(g, spantree.WithSeed(42))
+	sess, err := spantree.Prepare(g)
+	if err != nil {
+		panic(err)
+	}
+	tree, stats, err := sess.Sample(context.Background(), spantree.PhaseSpec(), 42)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println(len(tree.Edges()), "edges in", stats.Rounds, "simulated rounds")
 
-	// Repeated queries: the Engine caches the per-graph precomputation a
-	// cold Sample rebuilds every call and fans batches out over a worker
-	// pool (0 workers = GOMAXPROCS).
+	// Repeated queries: register the graph in an Engine, open a Session on
+	// it, and stream a batch — results arrive as workers finish, tagged by
+	// index (0 workers = GOMAXPROCS).
 	eng, err := spantree.NewEngine(0)
 	if err != nil {
 		panic(err)
@@ -33,8 +39,29 @@ func main() {
 	if err := eng.Register("exp64", g); err != nil {
 		panic(err)
 	}
-	res, err := eng.SampleBatch(context.Background(), spantree.BatchRequest{
-		GraphKey: "exp64", K: 100, Sampler: spantree.SamplerPhase, SeedBase: 1,
+	shared, err := eng.Open("exp64")
+	if err != nil {
+		panic(err)
+	}
+	st, err := shared.Stream(context.Background(), spantree.StreamRequest{
+		K: 100, Spec: spantree.PhaseSpec(), SeedBase: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	streamed := 0
+	for range st.Results() {
+		streamed++
+	}
+	if err := st.Err(); err != nil {
+		panic(err)
+	}
+	fmt.Println(streamed, "trees streamed")
+
+	// Collect is the gather-all form: the same stream reassembled by index
+	// into a summarized batch, byte-identical to the streamed trees.
+	res, err := shared.Collect(context.Background(), spantree.StreamRequest{
+		K: 100, Spec: spantree.PhaseSpec(), SeedBase: 1,
 	})
 	if err != nil {
 		panic(err)

@@ -26,6 +26,17 @@ import (
 	"repro/internal/walk"
 )
 
+// DefaultMaxSteps returns the standard cover-walk step cap for AldousBroder
+// on an n-vertex graph: 100·n³, well beyond the O(mn) cover-time bound, and
+// never below 10⁶ so small graphs are not starved by the cube.
+func DefaultMaxSteps(n int) int {
+	maxSteps := 100 * n * n * n
+	if maxSteps < 1_000_000 {
+		maxSteps = 1_000_000
+	}
+	return maxSteps
+}
+
 // AldousBroder samples an exactly uniform spanning tree by walking until
 // cover and keeping each vertex's first-visit edge. maxSteps bounds the
 // walk (an error is returned if exceeded).

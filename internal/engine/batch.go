@@ -2,21 +2,24 @@ package engine
 
 import (
 	"context"
-	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/prng"
 	"repro/internal/spanning"
 )
 
-// maxBatchSize caps a single batch request. It is a service guard against
-// runaway requests, not an engine limit; callers needing more issue several
-// batches with disjoint seed bases.
+// maxBatchSize caps a single batch or stream request. It is a service guard
+// against runaway requests, not an engine limit; callers needing more issue
+// several requests with disjoint seed bases.
 const maxBatchSize = 1 << 20
 
 // BatchRequest describes one batch sampling job.
+//
+// Deprecated: BatchRequest dispatches on a bare Sampler string and cannot
+// carry per-sampler knobs. New callers should Open a Session and use
+// StreamRequest with a typed SamplerSpec (Session.Stream to consume results
+// as they finish, Session.Collect for the gather-all form). BatchRequest
+// remains a supported shim for one release.
 type BatchRequest struct {
 	// GraphKey names a registered graph.
 	GraphKey string
@@ -34,12 +37,24 @@ type BatchRequest struct {
 	Workers int
 }
 
+// StreamRequest converts the legacy batch request to the Session API's form:
+// the bare Sampler name becomes a default-knob SamplerSpec.
+func (r BatchRequest) StreamRequest() StreamRequest {
+	return StreamRequest{
+		K:        r.K,
+		Spec:     SpecFor(r.Sampler),
+		SeedBase: r.SeedBase,
+		Workers:  r.Workers,
+	}
+}
+
 // BatchResult is one completed batch: trees and stats indexed by sample
 // number (sample i used seed stream i regardless of which worker ran it),
 // plus the folded summary.
 type BatchResult struct {
 	GraphKey string
 	Sampler  Sampler
+	Spec     SamplerSpec
 	SeedBase uint64
 	Trees    []*spanning.Tree
 	Stats    []core.Stats
@@ -47,96 +62,18 @@ type BatchResult struct {
 	Elapsed  time.Duration
 }
 
-// SampleBatch draws req.K trees concurrently on the engine's worker pool.
-// The result is deterministic in (GraphKey, Sampler, SeedBase, K); ctx
-// cancellation and sampler errors abort the batch with the first error.
+// SampleBatch draws req.K trees concurrently on the engine's worker pool —
+// a collect-all wrapper over the Session streaming path, kept for callers of
+// the PR-1 API. The result is deterministic in (GraphKey, Sampler, SeedBase,
+// K); ctx cancellation and sampler errors abort the batch with the first
+// error.
+//
+// Deprecated: use Engine.Open + Session.Collect (or Session.Stream to
+// consume results as they finish).
 func (e *Engine) SampleBatch(ctx context.Context, req BatchRequest) (*BatchResult, error) {
-	if req.K < 1 {
-		return nil, fmt.Errorf("engine: batch size must be >= 1, got %d", req.K)
-	}
-	if req.K > maxBatchSize {
-		return nil, fmt.Errorf("engine: batch size %d exceeds cap %d; split the batch", req.K, maxBatchSize)
-	}
-	if req.Sampler == "" {
-		req.Sampler = SamplerPhase
-	}
-	if !validSampler(req.Sampler) {
-		return nil, fmt.Errorf("engine: unknown sampler %q (known: %v)", req.Sampler, Samplers())
-	}
-	ent, err := e.reg.get(req.GraphKey)
+	sess, err := e.Open(req.GraphKey)
 	if err != nil {
 		return nil, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	workers := req.Workers
-	if workers <= 0 {
-		workers = e.workers
-	}
-	if workers > req.K {
-		workers = req.K
-	}
-
-	start := time.Now()
-	base := prng.New(req.SeedBase)
-	trees := make([]*spanning.Tree, req.K)
-	stats := make([]core.Stats, req.K)
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	jobs := make(chan int)
-	errc := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				// The per-sample stream depends only on (SeedBase, i); Split
-				// re-derives it independently of this worker's history.
-				tree, st, err := e.sampleOne(ent, req.Sampler, base.Split(uint64(i)))
-				if err != nil {
-					errc <- fmt.Errorf("%w: sample %d of %q: %v", ErrSampleFailed, i, req.GraphKey, err)
-					cancel()
-					return
-				}
-				trees[i] = tree
-				if st != nil {
-					stats[i] = *st
-				}
-			}
-		}()
-	}
-
-feed:
-	for i := 0; i < req.K; i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errc:
-		return nil, err
-	default:
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("engine: batch canceled: %w", err)
-	}
-
-	e.batches.Add(1)
-	e.samples.Add(int64(req.K))
-	return &BatchResult{
-		GraphKey: req.GraphKey,
-		Sampler:  req.Sampler,
-		SeedBase: req.SeedBase,
-		Trees:    trees,
-		Stats:    stats,
-		Summary:  Summarize(trees, stats),
-		Elapsed:  time.Since(start),
-	}, nil
+	return sess.Collect(ctx, req.StreamRequest())
 }

@@ -1,9 +1,10 @@
-// Package engine is the concurrent batch-sampling engine behind the
+// Package engine is the concurrent sampling engine behind the
 // spantree.Engine API and the spantreed server: a registry of graphs keyed
 // by name with cached, immutable per-graph precomputation (core.Prepared
-// state, spanning tree counts), a worker pool executing batch sampling jobs
-// with deterministic per-sample seed derivation, and an aggregation layer
-// folding per-sample Stats into batch summaries.
+// state, spanning tree counts), a Session handle per prepared graph whose
+// typed SamplerSpec requests run on a cancellable streaming worker pool
+// (Session.Stream / Session.Collect / Session.Sample), and an aggregation
+// layer folding per-sample Stats into batch summaries.
 //
 // The engine exists because tree sampling is a repeated-query primitive:
 // sparsification, random-walk estimation, and uniformity audits all draw
@@ -65,15 +66,6 @@ func Samplers() []Sampler {
 	return []Sampler{SamplerPhase, SamplerExact, SamplerLowCover, SamplerAldousBroder, SamplerWilson, SamplerMST}
 }
 
-func validSampler(s Sampler) bool {
-	for _, known := range Samplers() {
-		if s == known {
-			return true
-		}
-	}
-	return false
-}
-
 // Options configures an Engine.
 type Options struct {
 	// Workers is the default worker-pool width for batch jobs (default:
@@ -93,6 +85,13 @@ type Engine struct {
 
 	batches atomic.Int64
 	samples atomic.Int64
+	streams atomic.Int64
+	aborted atomic.Int64
+
+	// sampleHook, when non-nil, runs before every sample. Tests install it to
+	// make samplers deliberately slow for cancellation coverage; it must be
+	// set before the engine serves traffic.
+	sampleHook func()
 }
 
 // New returns an Engine with the given options.
@@ -109,11 +108,16 @@ func New(opts Options) *Engine {
 // Workers reports the default worker-pool width.
 func (e *Engine) Workers() int { return e.workers }
 
-// Metrics is a snapshot of the engine's cumulative counters.
+// Metrics is a snapshot of the engine's cumulative counters. Samples counts
+// individually completed draws (so a canceled stream contributes the work it
+// finished before aborting); Aborted counts streams ended early by context
+// cancellation or a sampler failure.
 type Metrics struct {
 	Graphs  int   `json:"graphs"`
 	Batches int64 `json:"batches"`
 	Samples int64 `json:"samples"`
+	Streams int64 `json:"streams"`
+	Aborted int64 `json:"aborted"`
 }
 
 // Metrics returns a snapshot of the engine's counters.
@@ -122,15 +126,20 @@ func (e *Engine) Metrics() Metrics {
 		Graphs:  e.reg.size(),
 		Batches: e.batches.Load(),
 		Samples: e.samples.Load(),
+		Streams: e.streams.Load(),
+		Aborted: e.aborted.Load(),
 	}
 }
 
-// sampleOne dispatches one draw of the requested sampler on the entry's
-// graph, reusing the entry's cached precomputation where the sampler has
-// any. The returned Stats is zero-valued for the sequential baselines, which
-// run outside the simulated clique.
-func (e *Engine) sampleOne(ent *entry, sampler Sampler, src *prng.Source) (*spanning.Tree, *core.Stats, error) {
-	switch sampler {
+// sampleOne dispatches one draw of the spec'd sampler on the entry's graph,
+// reusing the entry's cached precomputation where the sampler has any. The
+// spec must be normalized. The returned Stats is zero-valued for the
+// sequential baselines, which run outside the simulated clique.
+func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source) (*spanning.Tree, *core.Stats, error) {
+	if e.sampleHook != nil {
+		e.sampleHook()
+	}
+	switch spec.Name {
 	case SamplerPhase:
 		prep, err := ent.prepared(e.cfg)
 		if err != nil {
@@ -144,7 +153,7 @@ func (e *Engine) sampleOne(ent *entry, sampler Sampler, src *prng.Source) (*span
 		}
 		return prep.Sample(src)
 	case SamplerLowCover:
-		tree, st, err := doubling.SampleTree(ent.g, doubling.TreeConfig{}, src)
+		tree, st, err := doubling.SampleTree(ent.g, doubling.TreeConfig{SegmentLength: spec.SegmentLength}, src)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -155,21 +164,20 @@ func (e *Engine) sampleOne(ent *entry, sampler Sampler, src *prng.Source) (*span
 			WalkSteps:  st.WalkSteps,
 		}, nil
 	case SamplerAldousBroder:
-		n := ent.g.N()
-		maxSteps := 100 * n * n * n // well beyond the O(mn) cover-time bound
-		if maxSteps < 1_000_000 {
-			maxSteps = 1_000_000
+		maxSteps := spec.MaxSteps
+		if maxSteps == 0 {
+			maxSteps = aldous.DefaultMaxSteps(ent.g.N())
 		}
-		tree, err := aldous.AldousBroder(ent.g, 0, maxSteps, src)
+		tree, err := aldous.AldousBroder(ent.g, spec.Root, maxSteps, src)
 		return tree, &core.Stats{}, err
 	case SamplerWilson:
-		tree, err := aldous.Wilson(ent.g, 0, src)
+		tree, err := aldous.Wilson(ent.g, spec.Root, src)
 		return tree, &core.Stats{}, err
 	case SamplerMST:
 		tree, err := aldous.RandomWeightMST(ent.g, src)
 		return tree, &core.Stats{}, err
 	default:
-		return nil, nil, fmt.Errorf("engine: unknown sampler %q (known: %v)", sampler, Samplers())
+		return nil, nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownSampler, spec.Name, Samplers())
 	}
 }
 

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+// Session is a handle to one registered, prepared graph — the unit every
+// sampling request runs against. A Session pins its graph entry, so the
+// cached precomputation stays valid (and in-flight work unaffected) even if
+// the graph is concurrently deregistered from the engine. Sessions are
+// cheap, stateless beyond the pin, and safe for concurrent use; open one per
+// graph and share it freely.
+type Session struct {
+	eng *Engine
+	ent *entry
+}
+
+// Open returns a Session on the graph registered under key.
+func (e *Engine) Open(key string) (*Session, error) {
+	ent, err := e.reg.get(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{eng: e, ent: ent}, nil
+}
+
+// NewSession returns a standalone Session over g, backed by a private
+// single-graph engine — the one-shot path of the spantree facade, where
+// registering under a key would be ceremony. The session takes ownership of
+// g: callers must not mutate it afterwards.
+func NewSession(g *graph.Graph, opts Options) (*Session, error) {
+	if g == nil {
+		return nil, fmt.Errorf("engine: nil graph")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("engine: graph must be connected")
+	}
+	e := New(opts)
+	return &Session{eng: e, ent: &entry{key: "adhoc", g: g}}, nil
+}
+
+// Key returns the registry key this session was opened on ("adhoc" for
+// standalone sessions).
+func (s *Session) Key() string { return s.ent.key }
+
+// Graph returns the session's graph (shared and read-only).
+func (s *Session) Graph() *graph.Graph { return s.ent.g }
+
+// Info describes the session's graph.
+func (s *Session) Info() GraphInfo {
+	info := GraphInfo{Key: s.ent.key, Vertices: s.ent.g.N(), Edges: s.ent.g.M()}
+	if c := s.ent.count.Load(); c != nil {
+		info.TreeCount = c.String()
+	}
+	return info
+}
+
+// TreeCount returns the exact number of spanning trees of the session's
+// graph (Matrix-Tree theorem), computed and cached on first use.
+func (s *Session) TreeCount() (*big.Int, error) { return s.ent.treeCount() }
+
+// Sample draws one tree with the spec'd sampler, seeded by seed — the
+// Session-API form of the one-shot spantree.Sample family. Identical
+// (graph, spec, seed) triples yield identical trees; the phase and exact
+// samplers reuse the session's cached precomputation.
+func (s *Session) Sample(ctx context.Context, spec SamplerSpec, seed uint64) (*spanning.Tree, *core.Stats, error) {
+	spec, err := spec.normalizedFor(s.ent.g.N())
+	if err != nil {
+		return nil, nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	tree, st, err := s.eng.sampleOne(s.ent, spec, prng.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	s.eng.samples.Add(1)
+	return tree, st, nil
+}
+
+// Collect runs req as a stream and gathers every result into an
+// index-ordered BatchResult — the collect-all form of Stream, and the
+// implementation behind the legacy Engine.SampleBatch.
+func (s *Session) Collect(ctx context.Context, req StreamRequest) (*BatchResult, error) {
+	start := time.Now()
+	st, err := s.Stream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	trees := make([]*spanning.Tree, req.K)
+	stats := make([]core.Stats, req.K)
+	for r := range st.Results() {
+		trees[r.Index] = r.Tree
+		stats[r.Index] = r.Stats
+	}
+	if err := st.Err(); err != nil {
+		return nil, err
+	}
+	spec, _ := req.Spec.normalized() // already validated by Stream
+	s.eng.batches.Add(1)
+	return &BatchResult{
+		GraphKey: s.ent.key,
+		Sampler:  spec.Name,
+		Spec:     spec,
+		SeedBase: req.SeedBase,
+		Trees:    trees,
+		Stats:    stats,
+		Summary:  Summarize(trees, stats),
+		Elapsed:  time.Since(start),
+	}, nil
+}

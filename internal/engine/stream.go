@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+// StreamRequest describes one streaming sampling job on a Session.
+type StreamRequest struct {
+	// K is the number of trees to draw.
+	K int
+	// Spec selects and configures the algorithm (zero value: the phase
+	// sampler with default knobs).
+	Spec SamplerSpec
+	// SeedBase derives the per-sample seeds: sample i draws from the stream
+	// prng.New(SeedBase).Split(i), so the result at each index is a pure
+	// function of (graph, Spec, SeedBase) — worker count, scheduling, and
+	// consumption order never show through.
+	SeedBase uint64
+	// Workers overrides the engine's worker-pool width for this stream
+	// (0: engine default).
+	Workers int
+}
+
+// SampleResult is one completed draw of a stream: the sample's index in the
+// request (the determinism key — index i used seed stream i regardless of
+// which worker ran it or when it arrived), its tree, and its cost stats.
+type SampleResult struct {
+	Index int
+	Tree  *spanning.Tree
+	Stats core.Stats
+}
+
+// Stream is an in-flight streaming job. Results arrive on Results() in
+// completion order — generally NOT index order — as workers finish; the
+// channel closes when the stream ends, after which Err reports how: nil for
+// a complete run, a context error for cancellation, or the first sampler
+// failure. A canceled stream stops dispatching new samples promptly, lets
+// in-flight ones finish, and leaves the engine reusable.
+type Stream struct {
+	results chan SampleResult
+	done    chan struct{}
+	err     error // written once before done closes
+}
+
+// Results returns the channel of completed samples. It is closed when the
+// stream ends; consume it to completion (or cancel the stream's context)
+// to release the workers.
+func (st *Stream) Results() <-chan SampleResult { return st.results }
+
+// Err reports how the stream ended. It blocks until the stream has ended
+// (which the closure of Results() guarantees): nil after all K samples were
+// delivered, the context's error (wrapped) after cancellation, or the first
+// sampler error wrapped in ErrSampleFailed.
+func (st *Stream) Err() error {
+	<-st.done
+	return st.err
+}
+
+// Stream launches req on the session's graph and returns the in-flight job.
+// Request validation errors (bad K, unknown sampler, misplaced knobs) are
+// returned synchronously; everything later is reported via Stream.Err. The
+// stream honors ctx: cancellation stops dispatching new samples, and the
+// results channel closes as soon as in-flight samples drain.
+func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error) {
+	if req.K < 1 {
+		return nil, fmt.Errorf("engine: batch size must be >= 1, got %d", req.K)
+	}
+	if req.K > maxBatchSize {
+		return nil, fmt.Errorf("engine: batch size %d exceeds cap %d; split the batch", req.K, maxBatchSize)
+	}
+	spec, err := req.Spec.normalizedFor(s.ent.g.N())
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := s.eng
+	workers := req.Workers
+	if workers <= 0 {
+		workers = e.workers
+	}
+	if workers > req.K {
+		workers = req.K
+	}
+
+	e.streams.Add(1)
+	base := prng.New(req.SeedBase)
+	st := &Stream{
+		// A workers-deep buffer lets every worker park one finished result
+		// without blocking on the consumer.
+		results: make(chan SampleResult, workers),
+		done:    make(chan struct{}),
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	jobs := make(chan int)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// The per-sample stream depends only on (SeedBase, i); Split
+				// re-derives it independently of this worker's history.
+				tree, cs, err := e.sampleOne(s.ent, spec, base.Split(uint64(i)))
+				if err != nil {
+					errc <- fmt.Errorf("%w: sample %d of %q: %v", ErrSampleFailed, i, s.ent.key, err)
+					cancel()
+					return
+				}
+				res := SampleResult{Index: i, Tree: tree}
+				if cs != nil {
+					res.Stats = *cs
+				}
+				select {
+				case st.results <- res:
+					e.samples.Add(1)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	go func() {
+		defer cancel()
+	feed:
+		for i := 0; i < req.K; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		select {
+		case err := <-errc:
+			st.err = err
+			e.aborted.Add(1)
+		default:
+			if err := ctx.Err(); err != nil {
+				st.err = fmt.Errorf("engine: stream canceled: %w", err)
+				e.aborted.Add(1)
+			}
+		}
+		close(st.done)
+		close(st.results)
+	}()
+	return st, nil
+}

@@ -25,12 +25,11 @@
 package spantree
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
-	"repro/internal/aldous"
 	"repro/internal/core"
-	"repro/internal/doubling"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -227,24 +226,100 @@ func buildOptions(opts []Option) (*options, error) {
 	return o, nil
 }
 
-// Sample draws an approximately uniform spanning tree of g with the
-// phase-based congested clique algorithm (Theorem 1).
-func Sample(g *Graph, opts ...Option) (*Tree, *Stats, error) {
+// Session is a handle to one prepared graph — the unit every sampling
+// request runs against. Obtain one with Prepare (standalone) or Engine.Open
+// (on a registered graph); then draw one tree with Session.Sample, or many
+// with Session.Stream (results as workers finish) / Session.Collect
+// (gathered, index-ordered). Sessions are safe for concurrent use and cache
+// the per-graph precomputation across every request they serve.
+type Session = engine.Session
+
+// SamplerSpec is the typed description of a sampling algorithm plus its
+// per-sampler knobs — what Session requests dispatch on, replacing the bare
+// Sampler string constants of the PR-1 API. The zero value runs the phase
+// sampler with defaults; see SpecFor and the Spec constructors below.
+type SamplerSpec = engine.SamplerSpec
+
+// StreamRequest describes a streaming sampling job for Session.Stream and
+// Session.Collect: K samples of Spec seeded from SeedBase. Output at each
+// index is deterministic in (graph, Spec, SeedBase) at any worker count.
+type StreamRequest = engine.StreamRequest
+
+// SampleResult is one completed draw of a Stream, tagged with its request
+// index (the determinism key).
+type SampleResult = engine.SampleResult
+
+// Stream is an in-flight streaming job: Results() yields samples in
+// completion order, Err() reports how the stream ended once Results()
+// closes.
+type Stream = engine.Stream
+
+// SpecFor returns the SamplerSpec running the named sampler with default
+// knobs.
+func SpecFor(name Sampler) SamplerSpec { return engine.SpecFor(name) }
+
+// Spec constructors for each sampler, with the knobs that apply to it.
+func PhaseSpec() SamplerSpec { return SpecFor(SamplerPhase) }
+func ExactSpec() SamplerSpec { return SpecFor(SamplerExact) }
+
+// LowCoverSpec configures the Corollary 1 doubling sampler; segmentLength 0
+// keeps the 4·n·⌈log2 n⌉ default.
+func LowCoverSpec(segmentLength int) SamplerSpec {
+	return SamplerSpec{Name: SamplerLowCover, SegmentLength: segmentLength}
+}
+
+// AldousBroderSpec configures the sequential Aldous-Broder baseline;
+// maxSteps 0 keeps the DefaultMaxSteps cover-walk cap.
+func AldousBroderSpec(maxSteps int) SamplerSpec {
+	return SamplerSpec{Name: SamplerAldousBroder, MaxSteps: maxSteps}
+}
+
+func WilsonSpec() SamplerSpec { return SpecFor(SamplerWilson) }
+func MSTSpec() SamplerSpec    { return SpecFor(SamplerMST) }
+
+// Prepare validates g and the options once and returns a standalone Session
+// over it: the handle one-shot helpers wrap, and the right entry point when
+// the same graph will be sampled repeatedly without an Engine registry. The
+// session takes ownership of g — don't mutate it afterwards. WithSeed is
+// ignored; Session requests carry their own seeds.
+func Prepare(g *Graph, opts ...Option) (*Session, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSession(g, engine.Options{Config: o.cfg})
+}
+
+// sampleOneShot runs one draw of spec through an ephemeral Session, so the
+// one-shot helpers and the warm Session path share a single implementation
+// in internal/core.
+func sampleOneShot(g *Graph, spec SamplerSpec, opts []Option) (*Tree, *Stats, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Sample(g, o.cfg, prng.New(o.seed))
+	if spec.Name == SamplerLowCover && spec.SegmentLength == 0 {
+		spec.SegmentLength = o.segLen
+	}
+	sess, err := engine.NewSession(g, engine.Options{Config: o.cfg})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess.Sample(context.Background(), spec, o.seed)
+}
+
+// Sample draws an approximately uniform spanning tree of g with the
+// phase-based congested clique algorithm (Theorem 1). It is a thin wrapper
+// over an ephemeral Session; use Prepare to amortize the per-graph
+// precomputation across repeated draws.
+func Sample(g *Graph, opts ...Option) (*Tree, *Stats, error) {
+	return sampleOneShot(g, PhaseSpec(), opts)
 }
 
 // SampleExact draws an exactly uniform spanning tree (up to float64
 // arithmetic) with the appendix's Õ(n^(2/3+α)) variant.
 func SampleExact(g *Graph, opts ...Option) (*Tree, *Stats, error) {
-	o, err := buildOptions(opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return core.SampleExact(g, o.cfg, prng.New(o.seed))
+	return sampleOneShot(g, ExactSpec(), opts)
 }
 
 // SampleLowCoverTime draws an exactly uniform spanning tree with the
@@ -252,44 +327,29 @@ func SampleExact(g *Graph, opts ...Option) (*Tree, *Stats, error) {
 // with small cover times. The returned Stats reports only the fields the
 // doubling sampler tracks (Rounds, Supersteps, TotalWords, WalkSteps).
 func SampleLowCoverTime(g *Graph, opts ...Option) (*Tree, *Stats, error) {
-	o, err := buildOptions(opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	tree, st, err := doubling.SampleTree(g, doubling.TreeConfig{SegmentLength: o.segLen}, prng.New(o.seed))
-	if err != nil {
-		return nil, nil, err
-	}
-	return tree, &Stats{
-		Rounds:     st.Rounds,
-		Supersteps: st.Supersteps,
-		TotalWords: st.TotalWords,
-		WalkSteps:  st.WalkSteps,
-	}, nil
+	return sampleOneShot(g, LowCoverSpec(0), opts)
 }
 
 // SampleAldousBroder draws an exactly uniform spanning tree with the
 // sequential Aldous-Broder cover walk (the paper's correctness baseline).
 func SampleAldousBroder(g *Graph, seed uint64) (*Tree, error) {
-	n := g.N()
-	maxSteps := 100 * n * n * n // well beyond the O(mn) cover-time bound
-	if maxSteps < 1_000_000 {
-		maxSteps = 1_000_000
-	}
-	return aldous.AldousBroder(g, 0, maxSteps, prng.New(seed))
+	tree, _, err := sampleOneShot(g, AldousBroderSpec(0), []Option{WithSeed(seed)})
+	return tree, err
 }
 
 // SampleWilson draws an exactly uniform spanning tree with Wilson's
 // loop-erased walk algorithm.
 func SampleWilson(g *Graph, seed uint64) (*Tree, error) {
-	return aldous.Wilson(g, 0, prng.New(seed))
+	tree, _, err := sampleOneShot(g, WilsonSpec(), []Option{WithSeed(seed)})
+	return tree, err
 }
 
 // SampleMSTStrawman draws a spanning tree by the §1.4 strawman: i.i.d.
 // random edge weights + minimum spanning tree. Its distribution is NOT
 // uniform — it exists for bias experiments.
 func SampleMSTStrawman(g *Graph, seed uint64) (*Tree, error) {
-	return aldous.RandomWeightMST(g, prng.New(seed))
+	tree, _, err := sampleOneShot(g, MSTSpec(), []Option{WithSeed(seed)})
+	return tree, err
 }
 
 // CountSpanningTrees returns the exact number of spanning trees of g via
@@ -319,13 +379,14 @@ func TreeWeight(g *Graph, t *Tree) (float64, error) {
 	return spanning.TreeWeight(g, t)
 }
 
-// Engine is the concurrent batch-sampling engine: a registry of graphs with
+// Engine is the concurrent sampling engine: a registry of graphs with
 // cached per-graph precomputation (the phase-0 power table a cold Sample
-// rebuilds on every call) plus a worker pool executing batch jobs with
-// deterministic per-sample seed derivation. Construct with NewEngine; see
-// internal/engine for the full method set (Register, RegisterFamily,
-// SampleBatch, Audit, TreeCount, Metrics, ...). cmd/spantreed serves this
-// engine over HTTP.
+// rebuilds on every call) plus a worker pool executing streaming jobs with
+// deterministic per-sample seed derivation. Construct with NewEngine,
+// Register graphs, then Open a Session per graph and Stream/Collect batches
+// on it; see internal/engine for the full method set (Register,
+// RegisterFamily, Open, Audit, TreeCount, Metrics, ...). cmd/spantreed
+// serves this engine over HTTP.
 type Engine = engine.Engine
 
 // Sampler names a tree-sampling algorithm an Engine batch can run.
@@ -342,9 +403,13 @@ const (
 )
 
 // BatchRequest describes one engine batch job.
+//
+// Deprecated: use Engine.Open + StreamRequest (typed SamplerSpec dispatch,
+// streaming consumption, per-sampler knobs). Kept as a shim for one release.
 type BatchRequest = engine.BatchRequest
 
-// BatchResult is a completed engine batch.
+// BatchResult is a completed engine batch, as returned by Session.Collect
+// and the deprecated Engine.SampleBatch.
 type BatchResult = engine.BatchResult
 
 // BatchSummary aggregates a batch's per-sample statistics.
@@ -358,11 +423,13 @@ type GraphInfo = engine.GraphInfo
 
 // Engine error sentinels, for errors.Is dispatch in serving layers:
 // ErrUnknownGraph marks lookups of unregistered keys (HTTP 404);
-// ErrSampleFailed marks a batch aborted by a sampler's runtime failure on a
-// well-formed request (HTTP 500).
+// ErrUnknownSampler marks requests naming a sampler the engine doesn't know
+// (HTTP 400); ErrSampleFailed marks a batch aborted by a sampler's runtime
+// failure on a well-formed request (HTTP 500).
 var (
-	ErrUnknownGraph = engine.ErrUnknownGraph
-	ErrSampleFailed = engine.ErrSampleFailed
+	ErrUnknownGraph   = engine.ErrUnknownGraph
+	ErrUnknownSampler = engine.ErrUnknownSampler
+	ErrSampleFailed   = engine.ErrSampleFailed
 )
 
 // NewEngine returns a batch-sampling engine. workers <= 0 defaults the pool
