@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	spantreed -addr :8080 -workers 8
+//	spantreed -addr :8080 -workers 8 -phase-cache-mb 128
+//
+// -phase-cache-mb bounds each graph's later-phase state cache (Schur,
+// shortcut, and power-table triples keyed by phase subset; hits skip the
+// per-phase matrix squarings with round charges replayed, so responses are
+// byte-identical either way). 0 keeps the default, negative disables.
+// Cache hit/miss/eviction counters and the matrix scratch-pool counters are
+// reported under /v1/stats.
 //
 // Endpoints:
 //
@@ -55,10 +62,11 @@ func run() error {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
+		cacheMB = flag.Int("phase-cache-mb", 0, "per-graph later-phase state cache budget in MB (0: default, negative: disabled)")
 	)
 	flag.Parse()
 
-	eng, err := spantree.NewEngine(*workers)
+	eng, err := spantree.NewEngine(*workers, spantree.WithPhaseCacheMB(*cacheMB))
 	if err != nil {
 		return err
 	}
@@ -277,7 +285,10 @@ func (s *server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
 }
 
-// sampleRequest is the body of /v1/sample and /v1/audit.
+// sampleRequest is the body of /v1/sample and /v1/audit: the collect-all
+// endpoints keep their bare sampler-name wire format, converted to a
+// default-knob SamplerSpec internally (the stream endpoint carries the full
+// typed spec).
 type sampleRequest struct {
 	Graph        string `json:"graph"`
 	K            int    `json:"k"`
@@ -287,11 +298,10 @@ type sampleRequest struct {
 	IncludeTrees bool   `json:"include_trees,omitempty"`
 }
 
-func (r sampleRequest) batch() spantree.BatchRequest {
-	return spantree.BatchRequest{
-		GraphKey: r.Graph,
+func (r sampleRequest) stream() spantree.StreamRequest {
+	return spantree.StreamRequest{
 		K:        r.K,
-		Sampler:  spantree.Sampler(r.Sampler),
+		Spec:     spantree.SpecFor(spantree.Sampler(r.Sampler)),
 		SeedBase: r.SeedBase,
 		Workers:  r.Workers,
 	}
@@ -329,7 +339,12 @@ func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	res, err := s.eng.SampleBatch(r.Context(), req.batch())
+	sess, err := s.eng.Open(req.Graph)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	res, err := sess.Collect(r.Context(), req.stream())
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -348,7 +363,12 @@ func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	res, audit, err := s.eng.Audit(r.Context(), req.batch())
+	sess, err := s.eng.Open(req.Graph)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	res, audit, err := sess.Audit(r.Context(), req.stream())
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -367,6 +387,7 @@ type streamRequest struct {
 	SegmentLength int    `json:"segment_length,omitempty"`
 	MaxSteps      int    `json:"max_steps,omitempty"`
 	Root          int    `json:"root,omitempty"`
+	NoPhaseCache  bool   `json:"no_phase_cache,omitempty"`
 	SeedBase      uint64 `json:"seed_base"`
 	Workers       int    `json:"workers,omitempty"`
 }
@@ -379,6 +400,7 @@ func (r streamRequest) stream() spantree.StreamRequest {
 			SegmentLength: r.SegmentLength,
 			MaxSteps:      r.MaxSteps,
 			Root:          r.Root,
+			NoPhaseCache:  r.NoPhaseCache,
 		},
 		SeedBase: r.SeedBase,
 		Workers:  r.Workers,

@@ -277,7 +277,8 @@ func TestGraphLifecycleEndpoints(t *testing.T) {
 	}
 }
 
-// TestStatsEndpoint checks the metrics surface the new stream counters.
+// TestStatsEndpoint checks the metrics surface: stream counters plus the
+// phase-cache and matrix-pool blocks the cache PR added.
 func TestStatsEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
 	registerFamily(t, ts, "c", "cycle", 8)
@@ -285,6 +286,15 @@ func TestStatsEndpoint(t *testing.T) {
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
+	}
+	// Two identical phase batches: the second replays the first's cached
+	// later-phase state, so the hit counter must surface in /v1/stats.
+	for i := 0; i < 2; i++ {
+		r := postJSON(t, ts.URL+"/v1/sample", map[string]any{"graph": "c", "k": 2, "sampler": "phase", "seed_base": 5})
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("phase sample %d: status %d", i, r.StatusCode)
+		}
+		r.Body.Close()
 	}
 
 	statsResp, err := http.Get(ts.URL + "/v1/stats")
@@ -301,6 +311,12 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if stats.Engine.Aborted != 0 {
 		t.Errorf("fully consumed stream counted as aborted: %+v", stats.Engine)
+	}
+	if pc := stats.Engine.PhaseCache; pc.Hits < 1 || pc.Entries < 1 || pc.CapacityBytes <= 0 {
+		t.Errorf("phase-cache counters missing from metrics: %+v", pc)
+	}
+	if stats.Engine.MatrixPool.Gets < 1 {
+		t.Errorf("matrix-pool counters missing from metrics: %+v", stats.Engine.MatrixPool)
 	}
 	if stats.Requests < 2 {
 		t.Errorf("request counter: %+v", stats)

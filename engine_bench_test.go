@@ -8,8 +8,8 @@ import (
 // benchEngineGraph builds the warm-vs-cold benchmark instance: a 96-vertex
 // expander, large enough that the phase-0 precomputation (16 squarings of a
 // 96x96 transition matrix plus their column all-to-alls) is a substantial
-// slice of a cold Sample call. Later phases walk sampler-dependent Schur
-// complements, which no per-graph cache can precompute.
+// slice of a cold Sample call, and the later-phase Schur/shortcut/power-table
+// builds are the dominant remainder.
 func benchEngineGraph(b *testing.B) *Graph {
 	b.Helper()
 	g, err := Expander(96, 3)
@@ -19,11 +19,32 @@ func benchEngineGraph(b *testing.B) *Graph {
 	return g
 }
 
+// benchSession registers the benchmark graph in a fresh engine and opens a
+// session on it.
+func benchSession(b *testing.B, opts ...Option) *Session {
+	b.Helper()
+	eng, err := NewEngine(0, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Register("g", benchEngineGraph(b)); err != nil {
+		b.Fatal(err)
+	}
+	sess, err := eng.Open("g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess
+}
+
 // BenchmarkEngineWarmVsCold/cold draws each tree with the public Sample
 // call, which rebuilds the per-graph precomputation every time;
 // .../warm draws from an Engine whose registry has the precomputation
 // cached. Same graph, same sampler, same seeds — the gap is exactly the
-// amortized cost the engine exists to eliminate.
+// amortized cost the engine exists to eliminate. Seeds differ per iteration,
+// so the later-phase cache contributes little here; see
+// BenchmarkEnginePhaseCache for the repeated-batch serving scenario it
+// targets.
 func BenchmarkEngineWarmVsCold(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		g := benchEngineGraph(b)
@@ -35,43 +56,94 @@ func BenchmarkEngineWarmVsCold(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		eng, err := NewEngine(1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := eng.Register("g", benchEngineGraph(b)); err != nil {
-			b.Fatal(err)
-		}
-		// Prime the cache so the measured loop is pure per-sample work.
-		if _, err := eng.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: 1, SeedBase: 0}); err != nil {
+		sess := benchSession(b)
+		ctx := context.Background()
+		// Prime the phase-0 cache so the measured loop is per-sample work.
+		if _, _, err := sess.Sample(ctx, PhaseSpec(), 0); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: 1, SeedBase: uint64(i + 1)}); err != nil {
+			if _, _, err := sess.Sample(ctx, PhaseSpec(), uint64(i+1)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 }
 
+// phaseCacheBatch is the repeated batch both arms of BenchmarkEnginePhaseCache
+// run: 64 phase-sampler trees on the n=96 expander from one seed base — the
+// serving shape of an idempotent retry, a replayed request, or an
+// audit-after-sample.
+func phaseCacheBatch(noCache bool) StreamRequest {
+	spec := PhaseSpec()
+	spec.NoPhaseCache = noCache
+	return StreamRequest{K: 64, Spec: spec, SeedBase: 1}
+}
+
+// BenchmarkEnginePhaseCache measures what the later-phase state cache buys on
+// a repeated batch. Both arms run on a warm engine (phase-0 precomputation
+// cached) and draw byte-identical trees; /cold bypasses the phase cache, so
+// every sample rebuilds its later-phase Schur complements, shortcut matrices,
+// and dyadic power tables, while /warm serves them from the cache populated
+// by one priming run. The tree-for-tree (and round-for-round) equality of the
+// two arms is asserted by TestPhaseCacheBenchArmsAgree in spantree_test.go
+// and by the engine's golden tests.
+func BenchmarkEnginePhaseCache(b *testing.B) {
+	b.Run("cold-batch64", func(b *testing.B) {
+		sess := benchSession(b, WithPhaseCacheMB(-1))
+		ctx := context.Background()
+		if _, _, err := sess.Sample(ctx, PhaseSpec(), 0); err != nil {
+			b.Fatal(err) // prime phase-0
+		}
+		req := phaseCacheBatch(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var elapsed float64
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Collect(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed += res.Elapsed.Seconds()
+		}
+		b.ReportMetric(float64(req.K*b.N)/elapsed, "trees/s")
+	})
+	b.Run("warm-batch64", func(b *testing.B) {
+		sess := benchSession(b, WithPhaseCacheMB(512))
+		ctx := context.Background()
+		req := phaseCacheBatch(false)
+		// Prime: the first identical batch populates the cache.
+		if _, err := sess.Collect(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var elapsed float64
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Collect(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed += res.Elapsed.Seconds()
+		}
+		b.ReportMetric(float64(req.K*b.N)/elapsed, "trees/s")
+	})
+}
+
 // BenchmarkEngineBatchThroughput measures whole batches on the default
 // worker pool — the serving path's unit of work.
 func BenchmarkEngineBatchThroughput(b *testing.B) {
-	eng, err := NewEngine(0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := eng.Register("g", benchEngineGraph(b)); err != nil {
-		b.Fatal(err)
-	}
+	sess := benchSession(b)
 	const k = 32
 	b.ResetTimer()
+	var elapsed float64
 	for i := 0; i < b.N; i++ {
-		res, err := eng.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: k, SeedBase: uint64(i)})
+		res, err := sess.Collect(context.Background(), StreamRequest{K: k, Spec: PhaseSpec(), SeedBase: uint64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(k)/res.Elapsed.Seconds(), "trees/s")
+		elapsed += res.Elapsed.Seconds()
 	}
+	b.ReportMetric(float64(k*b.N)/elapsed, "trees/s")
 }

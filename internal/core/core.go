@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/graph"
+	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/schur"
 	"repro/internal/spanning"
@@ -35,14 +36,16 @@ func Sample(g *graph.Graph, cfg Config, src *prng.Source) (*spanning.Tree, *Stat
 	if !g.IsConnected() {
 		return nil, nil, fmt.Errorf("core: graph must be connected")
 	}
-	return sampleLoop(g, cfg, src, nil)
+	return sampleLoop(g, cfg, src, nil, nil)
 }
 
 // sampleLoop runs the phase loop on a validated instance (n >= 2, cfg with
 // defaults applied, g connected, src non-nil). A non-nil warm supplies the
 // cached phase-0 state of Prepare; nil recomputes everything in-simulation,
-// the original cold path.
-func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared) (*spanning.Tree, *Stats, error) {
+// the original cold path. A non-nil cache additionally memoizes later-phase
+// state across samples (and across the Las Vegas extension segments of one
+// sample), with hits charge-replayed so Stats stay identical either way.
+func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, cache *phasecache.Cache) (*spanning.Tree, *Stats, error) {
 	n := g.N()
 	sim := clique.MustNew(n)
 	stats := &Stats{}
@@ -83,7 +86,7 @@ func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared) (*
 		var runner *phaseRunner
 		segStart := start
 		for segment := 0; ; segment++ {
-			r, err := newPhaseRunner(sim, g, cfg, sub, segStart, phase, preSeen, phaseSrc.Split(uint64(segment)), stats, warm)
+			r, err := newPhaseRunner(sim, g, cfg, sub, segStart, phase, preSeen, phaseSrc.Split(uint64(segment)), stats, warm, cache)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: phase %d: %w", phase, err)
 			}

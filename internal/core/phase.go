@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/mm"
+	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/schur"
 )
@@ -90,8 +91,12 @@ type phaseRunner struct {
 // initial two-vertex partial walk. A non-nil warm carries Prepare's cached
 // phase-0 state: phase 0 always walks the full vertex set, so its shortcut
 // matrix and power table are per-graph constants that only the charging (not
-// the numeric work) needs to be replayed for.
-func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, startGlobal int, phaseIdx int, preSeen map[int]struct{}, src *prng.Source, stats *Stats, warm *Prepared) (*phaseRunner, error) {
+// the numeric work) needs to be replayed for. A non-nil cache extends the
+// same idea to every later phase, memoized by the phase's vertex subset:
+// hits reuse the triple a previous cold build produced (bit-identical by
+// construction) and replay its round charges; misses build cold and
+// populate the cache.
+func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, startGlobal int, phaseIdx int, preSeen map[int]struct{}, src *prng.Source, stats *Stats, warm *Prepared, cache *phasecache.Cache) (*phaseRunner, error) {
 	startLocal, err := sub.LocalIndex(startGlobal)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase start vertex: %w", err)
@@ -99,42 +104,40 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 	maxExp := int(math.Log2(float64(cfg.WalkLength)) + 0.5)
 	var q *matrix.Matrix
 	var pd *matrix.PowerDyadic
-	// The cached table is usable only under the Fast backend, whose Mul is
-	// the same local matrix.Mul the cache was built with and whose round
-	// charge ReplayDyadicTable reproduces exactly. The dataflow backends
-	// (naive, semiring3d) route real words through the simulator and may
-	// accumulate in a different order, so they always take the cold path —
-	// identical numerics and accounting, no caching benefit.
+	// Cached state is usable only under the Fast backend, whose Mul is the
+	// same local matrix.Mul the caches were built with and whose round
+	// charges ReplayDyadicTable and ChargeSchurShortcutBuild reproduce
+	// exactly. The dataflow backends (naive, semiring3d) route real words
+	// through the simulator and may accumulate in a different order, so they
+	// always take the cold path — identical numerics and accounting, no
+	// caching benefit.
 	_, fastBackend := cfg.Backend.(mm.Fast)
-	if warm != nil && fastBackend && phaseIdx == 0 && sub.Size() == g.N() {
+	switch {
+	case warm != nil && fastBackend && phaseIdx == 0 && sub.Size() == g.N():
 		q = warm.q0
 		pd = warm.pd0
 		if err := mm.ReplayDyadicTable(sim, cfg.Backend, pd); err != nil {
 			return nil, fmt.Errorf("core: replaying dyadic power table: %w", err)
 		}
-	} else {
-		smat, err := schur.Transition(g, sub)
-		if err != nil {
-			return nil, fmt.Errorf("core: schur transition: %w", err)
-		}
-		q, err = schur.ShortcutTransition(g, sub)
-		if err != nil {
-			return nil, fmt.Errorf("core: shortcut transition: %w", err)
-		}
-		if phaseIdx > 0 {
-			// Corollaries 2-3: the Schur and shortcut matrices are computed by
-			// O(log(n^3/δ)) repeated squarings of a 2n-dimensional augmented
-			// chain; charge the backend's cost for them. Phase 1 walks on G
-			// itself and needs neither (§2.2: "short-cutting applies only
-			// after the first phase").
-			dim := 2 * g.N()
-			if err := sim.ChargeRounds(maxExp*cfg.Backend.CostRounds(dim), "schur+shortcut"); err != nil {
+	case fastBackend && cache != nil:
+		members := sub.Vertices()
+		if ent, ok := cache.Get(members); ok {
+			q = ent.Shortcut
+			pd = ent.Powers
+			if err := replayPhaseCharges(sim, cfg, g.N(), maxExp, phaseIdx, pd); err != nil {
 				return nil, err
 			}
+		} else {
+			q, pd, err = buildPhaseState(sim, g, cfg, sub, phaseIdx, maxExp)
+			if err != nil {
+				return nil, err
+			}
+			cache.Put(&phasecache.Entry{Members: members, Shortcut: q, Powers: pd})
 		}
-		pd, err = mm.DyadicTable(sim, cfg.Backend, smat, maxExp, cfg.TruncDelta)
+	default:
+		q, pd, err = buildPhaseState(sim, g, cfg, sub, phaseIdx, maxExp)
 		if err != nil {
-			return nil, fmt.Errorf("core: dyadic power table: %w", err)
+			return nil, err
 		}
 	}
 
@@ -177,6 +180,53 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 	r.spacing = cfg.WalkLength
 	r.truncateWalkLocal()
 	return r, nil
+}
+
+// buildPhaseState is the cold path of a phase's algebraic setup: the
+// shortcut matrix and the dyadic power table of the Schur transition matrix
+// (which survives as the table's first power), with the round charges the
+// paper's accounting assigns them. It is also the only producer of
+// phase-cache entries, which is what makes cached and cold sampling
+// bit-identical.
+func buildPhaseState(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, phaseIdx, maxExp int) (q *matrix.Matrix, pd *matrix.PowerDyadic, err error) {
+	smat, err := schur.Transition(g, sub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: schur transition: %w", err)
+	}
+	q, err = schur.ShortcutTransition(g, sub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: shortcut transition: %w", err)
+	}
+	if phaseIdx > 0 {
+		// Corollaries 2-3: the Schur and shortcut matrices are computed by
+		// O(log(n^3/δ)) repeated squarings of a 2n-dimensional augmented
+		// chain; charge the backend's cost for them. Phase 1 walks on G
+		// itself and needs neither (§2.2: "short-cutting applies only
+		// after the first phase").
+		if err := mm.ChargeSchurShortcutBuild(sim, cfg.Backend, g.N(), maxExp); err != nil {
+			return nil, nil, err
+		}
+	}
+	pd, err = mm.DyadicTable(sim, cfg.Backend, smat, maxExp, cfg.TruncDelta)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: dyadic power table: %w", err)
+	}
+	return q, pd, nil
+}
+
+// replayPhaseCharges charges a phase-cache hit with exactly what the cold
+// build would have charged: the Corollaries 2-3 squarings for later phases,
+// then the dyadic table's squarings and column all-to-alls.
+func replayPhaseCharges(sim *clique.Sim, cfg Config, n, maxExp, phaseIdx int, pd *matrix.PowerDyadic) error {
+	if phaseIdx > 0 {
+		if err := mm.ChargeSchurShortcutBuild(sim, cfg.Backend, n, maxExp); err != nil {
+			return err
+		}
+	}
+	if err := mm.ReplayDyadicTable(sim, cfg.Backend, pd); err != nil {
+		return fmt.Errorf("core: replaying dyadic power table: %w", err)
+	}
+	return nil
 }
 
 // hostOf maps a local subset index to the global machine hosting it.

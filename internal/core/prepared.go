@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/mm"
+	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/schur"
 	"repro/internal/spanning"
@@ -38,6 +39,15 @@ type Prepared struct {
 	sub0 *schur.Subset       // full-vertex subset every phase 0 walks on
 	q0   *matrix.Matrix      // phase-0 shortcut transitions
 	pd0  *matrix.PowerDyadic // phase-0 dyadic power table
+
+	// cache memoizes the later-phase (Schur, shortcut, power table) triples
+	// by phase subset, shared by every Sample on this Prepared (nil when
+	// disabled or on non-Fast backends). The Cache itself is concurrency-
+	// safe mutable state, but its entries are immutable and populated only
+	// from cold-path output, so Prepared keeps its read-share-freely
+	// contract: cached and uncached sampling are byte-identical per seed,
+	// rounds included (hits replay the cold path's charges).
+	cache *phasecache.Cache
 }
 
 // Prepare validates the graph and configuration once and precomputes the
@@ -62,9 +72,12 @@ func Prepare(g *graph.Graph, cfg Config) (*Prepared, error) {
 	}
 	p.cfg = cfg
 	if _, fast := cfg.Backend.(mm.Fast); !fast {
-		// Only the Fast backend can consume the cache (see Sample); skip the
+		// Only the Fast backend can consume the caches (see Sample); skip the
 		// O(n^3 log l) table build the warm path would never read.
 		return p, nil
+	}
+	if cfg.PhaseCacheMB > 0 {
+		p.cache = phasecache.New(int64(cfg.PhaseCacheMB) << 20)
 	}
 
 	members := make([]int, n)
@@ -109,10 +122,25 @@ func (p *Prepared) Graph() *graph.Graph { return p.g }
 func (p *Prepared) Config() Config { return p.cfg }
 
 // Sample draws a spanning tree exactly like the package-level Sample, but
-// reuses the cached phase-0 precomputation instead of rebuilding it. The
+// reuses the cached phase-0 precomputation — and, when the phase cache is
+// enabled, any memoized later-phase state — instead of rebuilding it. The
 // skipped matrix squarings are still charged to the simulated clique (see
-// mm.ReplayDyadicTable), so Stats remains comparable with cold runs.
+// mm.ReplayDyadicTable and mm.ChargeSchurShortcutBuild), so Stats remains
+// identical to cold runs, hit or miss.
 func (p *Prepared) Sample(src *prng.Source) (*spanning.Tree, *Stats, error) {
+	return p.sample(src, p.cache)
+}
+
+// SampleUncached is Sample with the later-phase cache bypassed (neither read
+// nor populated); the phase-0 precomputation is still reused. It exists for
+// A/B measurement — engine requests opt in via SamplerSpec.NoPhaseCache —
+// and as a living proof of the cache's contract: its output and Stats are
+// byte-identical to Sample's for every seed.
+func (p *Prepared) SampleUncached(src *prng.Source) (*spanning.Tree, *Stats, error) {
+	return p.sample(src, nil)
+}
+
+func (p *Prepared) sample(src *prng.Source, cache *phasecache.Cache) (*spanning.Tree, *Stats, error) {
 	if src == nil {
 		return nil, nil, fmt.Errorf("core: nil randomness source")
 	}
@@ -120,5 +148,9 @@ func (p *Prepared) Sample(src *prng.Source) (*spanning.Tree, *Stats, error) {
 		tree, err := spanning.NewTree(1, nil)
 		return tree, &Stats{}, err
 	}
-	return sampleLoop(p.g, p.cfg, src, p)
+	return sampleLoop(p.g, p.cfg, src, p, cache)
 }
+
+// CacheStats reports the later-phase cache's counters (the zero value when
+// the cache is disabled).
+func (p *Prepared) CacheStats() phasecache.Stats { return p.cache.Stats() }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/spanning"
+)
+
+// TestPreparedCacheGolden is the core-level contract behind the engine's
+// golden tests: for both the Theorem 1 config and the appendix's exact
+// variant, the cached Prepared path, the cache-bypassing Prepared path, and
+// the fully cold package-level Sample agree tree-for-tree and
+// Stats-for-Stats on every seed — whether the cache is empty, filling, or
+// fully warm (a repeated seed replays every phase from the cache).
+func TestPreparedCacheGolden(t *testing.T) {
+	g, err := graph.Expander(24, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{WalkLength: 512}
+	cases := []struct {
+		name    string
+		prepare func() (*Prepared, error)
+		cold    func(src *prng.Source) (*spanning.Tree, *Stats, error)
+	}{
+		{
+			name:    "phase",
+			prepare: func() (*Prepared, error) { return Prepare(g, cfg) },
+			cold:    func(src *prng.Source) (*spanning.Tree, *Stats, error) { return Sample(g, cfg, src) },
+		},
+		{
+			name:    "exact",
+			prepare: func() (*Prepared, error) { return PrepareExact(g, cfg) },
+			cold:    func(src *prng.Source) (*spanning.Tree, *Stats, error) { return SampleExact(g, cfg, src) },
+		},
+	}
+	for _, tc := range cases {
+		prep, err := tc.prepare()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		// Seed 40 appears twice: the second pass must be a pure cache replay
+		// and still match the cold run exactly.
+		for _, seed := range []uint64{40, 41, 42, 40} {
+			coldTree, coldStats, err := tc.cold(prng.New(seed))
+			if err != nil {
+				t.Fatalf("%s cold seed %d: %v", tc.name, seed, err)
+			}
+			warmTree, warmStats, err := prep.Sample(prng.New(seed))
+			if err != nil {
+				t.Fatalf("%s warm seed %d: %v", tc.name, seed, err)
+			}
+			bypassTree, bypassStats, err := prep.SampleUncached(prng.New(seed))
+			if err != nil {
+				t.Fatalf("%s bypass seed %d: %v", tc.name, seed, err)
+			}
+			if warmTree.Encode() != coldTree.Encode() || bypassTree.Encode() != coldTree.Encode() {
+				t.Errorf("%s seed %d: trees diverge between cold/warm/bypass", tc.name, seed)
+			}
+			if !reflect.DeepEqual(warmStats, coldStats) {
+				t.Errorf("%s seed %d: cached stats differ from cold:\n%+v\n%+v", tc.name, seed, warmStats, coldStats)
+			}
+			if !reflect.DeepEqual(bypassStats, coldStats) {
+				t.Errorf("%s seed %d: bypass stats differ from cold:\n%+v\n%+v", tc.name, seed, bypassStats, coldStats)
+			}
+		}
+		cs := prep.CacheStats()
+		if cs.Hits == 0 {
+			t.Errorf("%s: repeated seed produced no cache hits: %+v", tc.name, cs)
+		}
+		if cs.Entries == 0 || cs.Bytes <= 0 {
+			t.Errorf("%s: no resident cache state after sampling: %+v", tc.name, cs)
+		}
+	}
+}
+
+// TestPreparedCacheDisabledConfig: a negative budget disables the cache but
+// not the phase-0 warm path.
+func TestPreparedCacheDisabledConfig(t *testing.T) {
+	g, err := graph.Expander(16, prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := Prepare(g, Config{WalkLength: 256, PhaseCacheMB: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTree, coldStats, err := Sample(g, Config{WalkLength: 256, PhaseCacheMB: -1}, prng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTree, warmStats, err := prep.Sample(prng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmTree.Encode() != coldTree.Encode() || !reflect.DeepEqual(warmStats, coldStats) {
+		t.Error("cache-disabled Prepared disagrees with cold Sample")
+	}
+	if cs := prep.CacheStats(); cs.CapacityBytes != 0 || cs.Misses != 0 || cs.Hits != 0 {
+		t.Errorf("disabled cache reports traffic: %+v", cs)
+	}
+}

@@ -88,6 +88,10 @@ func (e *Engine) AuditBatch(res *BatchResult) (spanning.AuditResult, error) {
 	if err != nil {
 		return spanning.AuditResult{}, err
 	}
+	return auditEntryBatch(ent, res)
+}
+
+func auditEntryBatch(ent *entry, res *BatchResult) (spanning.AuditResult, error) {
 	count, err := ent.treeCount()
 	if err != nil {
 		return spanning.AuditResult{}, err
@@ -115,14 +119,16 @@ func (e *Engine) AuditBatch(res *BatchResult) (spanning.AuditResult, error) {
 	}, nil
 }
 
-// Audit runs a batch and audits it in one call — the serving layer's
-// "audit uniformity" endpoint.
-func (e *Engine) Audit(ctx context.Context, req BatchRequest) (*BatchResult, spanning.AuditResult, error) {
-	res, err := e.SampleBatch(ctx, req)
+// Audit runs a batch on the session and audits it in one call — the serving
+// layer's "audit uniformity" endpoint. Unlike Engine.AuditBatch it works on
+// standalone (adhoc) sessions too, since it audits against the session's own
+// pinned graph entry rather than a registry lookup.
+func (s *Session) Audit(ctx context.Context, req StreamRequest) (*BatchResult, spanning.AuditResult, error) {
+	res, err := s.Collect(ctx, req)
 	if err != nil {
 		return nil, spanning.AuditResult{}, err
 	}
-	audit, err := e.AuditBatch(res)
+	audit, err := auditEntryBatch(s.ent, res)
 	if err != nil {
 		return nil, spanning.AuditResult{}, err
 	}

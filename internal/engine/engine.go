@@ -28,6 +28,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/doubling"
 	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/spanning"
 )
@@ -111,24 +113,35 @@ func (e *Engine) Workers() int { return e.workers }
 // Metrics is a snapshot of the engine's cumulative counters. Samples counts
 // individually completed draws (so a canceled stream contributes the work it
 // finished before aborting); Aborted counts streams ended early by context
-// cancellation or a sampler failure.
+// cancellation or a sampler failure. PhaseCache aggregates the later-phase
+// state caches of every registered graph (phase and exact samplers each keep
+// one per graph); MatrixPool reports the dense-kernel scratch pool, which is
+// process-wide, not per-engine — it still belongs here because the engine's
+// sampling traffic is what drives it.
 type Metrics struct {
-	Graphs  int   `json:"graphs"`
-	Batches int64 `json:"batches"`
-	Samples int64 `json:"samples"`
-	Streams int64 `json:"streams"`
-	Aborted int64 `json:"aborted"`
+	Graphs     int              `json:"graphs"`
+	Batches    int64            `json:"batches"`
+	Samples    int64            `json:"samples"`
+	Streams    int64            `json:"streams"`
+	Aborted    int64            `json:"aborted"`
+	PhaseCache phasecache.Stats `json:"phase_cache"`
+	MatrixPool matrix.PoolStats `json:"matrix_pool"`
 }
 
 // Metrics returns a snapshot of the engine's counters.
 func (e *Engine) Metrics() Metrics {
-	return Metrics{
-		Graphs:  e.reg.size(),
-		Batches: e.batches.Load(),
-		Samples: e.samples.Load(),
-		Streams: e.streams.Load(),
-		Aborted: e.aborted.Load(),
+	m := Metrics{
+		Graphs:     e.reg.size(),
+		Batches:    e.batches.Load(),
+		Samples:    e.samples.Load(),
+		Streams:    e.streams.Load(),
+		Aborted:    e.aborted.Load(),
+		MatrixPool: matrix.ReadPoolStats(),
 	}
+	e.reg.each(func(ent *entry) {
+		m.PhaseCache = m.PhaseCache.Add(ent.cacheStats())
+	})
+	return m
 }
 
 // sampleOne dispatches one draw of the spec'd sampler on the entry's graph,
@@ -145,11 +158,17 @@ func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source) (*spa
 		if err != nil {
 			return nil, nil, err
 		}
+		if spec.NoPhaseCache {
+			return prep.SampleUncached(src)
+		}
 		return prep.Sample(src)
 	case SamplerExact:
 		prep, err := ent.preparedExact(e.cfg)
 		if err != nil {
 			return nil, nil, err
+		}
+		if spec.NoPhaseCache {
+			return prep.SampleUncached(src)
 		}
 		return prep.Sample(src)
 	case SamplerLowCover:

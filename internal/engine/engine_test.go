@@ -30,19 +30,29 @@ func encodeAll(res *BatchResult) []string {
 	return out
 }
 
+// collectBatch opens a session on key and gathers one batch — the test
+// shorthand for the Open+Collect idiom.
+func collectBatch(e *Engine, key string, req StreamRequest) (*BatchResult, error) {
+	sess, err := e.Open(key)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Collect(context.Background(), req)
+}
+
 // TestBatchDeterministicAcrossWorkers is the engine's core contract: a batch
 // is a pure function of (graph, sampler, seed base, k) — 1 worker and many
 // workers produce byte-identical trees and stats.
 func TestBatchDeterministicAcrossWorkers(t *testing.T) {
 	e := testEngine(t)
 	for _, sampler := range []Sampler{SamplerPhase, SamplerLowCover, SamplerWilson} {
-		req := BatchRequest{GraphKey: "g", K: 8, Sampler: sampler, SeedBase: 7, Workers: 1}
-		serial, err := e.SampleBatch(context.Background(), req)
+		req := StreamRequest{K: 8, Spec: SpecFor(sampler), SeedBase: 7, Workers: 1}
+		serial, err := collectBatch(e, "g", req)
 		if err != nil {
 			t.Fatalf("%s serial: %v", sampler, err)
 		}
 		req.Workers = 8
-		parallel, err := e.SampleBatch(context.Background(), req)
+		parallel, err := collectBatch(e, "g", req)
 		if err != nil {
 			t.Fatalf("%s parallel: %v", sampler, err)
 		}
@@ -63,7 +73,7 @@ func TestBatchDeterministicAcrossWorkers(t *testing.T) {
 // default Fast backend, for the engine's exact seed derivation.
 func TestWarmMatchesCold(t *testing.T) {
 	e := testEngine(t)
-	res, err := e.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: 4, Sampler: SamplerPhase, SeedBase: 11})
+	res, err := collectBatch(e, "g", StreamRequest{K: 4, Spec: SpecFor(SamplerPhase), SeedBase: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +102,8 @@ func TestWarmMatchesCold(t *testing.T) {
 // read-only, and the results must still match a solo run of the same batch.
 func TestConcurrentBatchesSharedGraph(t *testing.T) {
 	e := testEngine(t)
-	req := BatchRequest{GraphKey: "g", K: 6, Sampler: SamplerPhase, SeedBase: 5}
-	want, err := e.SampleBatch(context.Background(), req)
+	req := StreamRequest{K: 6, Spec: SpecFor(SamplerPhase), SeedBase: 5}
+	want, err := collectBatch(e, "g", req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +117,7 @@ func TestConcurrentBatchesSharedGraph(t *testing.T) {
 			defer wg.Done()
 			// Same seed base on every racer: identical streams hammer the
 			// same cached matrices, the worst case for hidden mutation.
-			results[r], errs[r] = e.SampleBatch(context.Background(), req)
+			results[r], errs[r] = collectBatch(e, "g", req)
 		}(r)
 	}
 	wg.Wait()
@@ -130,7 +140,7 @@ func TestAllSamplersProduceValidTrees(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, sampler := range Samplers() {
-		res, err := e.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: 2, Sampler: sampler, SeedBase: 1})
+		res, err := collectBatch(e, "g", StreamRequest{K: 2, Spec: SpecFor(sampler), SeedBase: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", sampler, err)
 		}
@@ -163,10 +173,10 @@ func TestRegistryLifecycle(t *testing.T) {
 	if err := e.Register("d", disconnected); err == nil {
 		t.Error("disconnected graph accepted")
 	}
-	if _, err := e.SampleBatch(context.Background(), BatchRequest{GraphKey: "zzz", K: 1}); err == nil {
+	if _, err := collectBatch(e, "zzz", StreamRequest{K: 1}); err == nil {
 		t.Error("sampling an unregistered graph succeeded")
 	}
-	if _, err := e.SampleBatch(context.Background(), BatchRequest{GraphKey: "a", K: 0}); err == nil {
+	if _, err := collectBatch(e, "a", StreamRequest{K: 0}); err == nil {
 		t.Error("empty batch accepted")
 	}
 	info, err := e.Info("a")
@@ -193,7 +203,11 @@ func TestAuditUniformSampler(t *testing.T) {
 	if err := e.RegisterFamily("c", "cycle", 6, 0); err != nil {
 		t.Fatal(err)
 	}
-	res, audit, err := e.Audit(context.Background(), BatchRequest{GraphKey: "c", K: 600, Sampler: SamplerWilson, SeedBase: 2})
+	sess, err := e.Open("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, audit, err := sess.Audit(context.Background(), StreamRequest{K: 600, Spec: SpecFor(SamplerWilson), SeedBase: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,9 +246,13 @@ func TestSummarize(t *testing.T) {
 // TestBatchCancellation aborts a long batch via context and expects an error.
 func TestBatchCancellation(t *testing.T) {
 	e := testEngine(t)
+	sess, err := e.Open("g")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := e.SampleBatch(ctx, BatchRequest{GraphKey: "g", K: 64, Sampler: SamplerPhase, SeedBase: 1}); err == nil {
+	if _, err := sess.Collect(ctx, StreamRequest{K: 64, Spec: SpecFor(SamplerPhase), SeedBase: 1}); err == nil {
 		t.Error("canceled batch succeeded")
 	}
 }

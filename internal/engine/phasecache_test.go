@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPhaseCacheGoldenIdentical is the cache's golden contract: for every
+// sampler with later-phase state (phase and exact), cached sampling is
+// byte-identical to the cache-bypassing path per index — trees and full
+// Stats, rounds included — at 1, 4, and GOMAXPROCS workers, on both a
+// cold-filling and a fully warm cache.
+func TestPhaseCacheGoldenIdentical(t *testing.T) {
+	e := testEngine(t)
+	for _, sampler := range []Sampler{SamplerPhase, SamplerExact} {
+		uncached := SpecFor(sampler)
+		uncached.NoPhaseCache = true
+		baseline, err := collectBatch(e, "g", StreamRequest{K: 10, Spec: uncached, SeedBase: 21, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", sampler, err)
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			// Two passes per width: the first may mix hits and misses while
+			// the cache fills, the second replays warm. Both must agree with
+			// the uncached baseline exactly.
+			for pass := 0; pass < 2; pass++ {
+				res, err := collectBatch(e, "g", StreamRequest{K: 10, Spec: SpecFor(sampler), SeedBase: 21, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s w=%d pass %d: %v", sampler, workers, pass, err)
+				}
+				if !reflect.DeepEqual(encodeAll(baseline), encodeAll(res)) {
+					t.Errorf("%s w=%d pass %d: cached trees differ from uncached", sampler, workers, pass)
+				}
+				if !reflect.DeepEqual(baseline.Stats, res.Stats) {
+					t.Errorf("%s w=%d pass %d: cached stats differ from uncached", sampler, workers, pass)
+				}
+			}
+		}
+	}
+	m := e.Metrics()
+	if m.PhaseCache.Hits == 0 || m.PhaseCache.Misses == 0 {
+		t.Errorf("golden runs should have exercised both hits and misses: %+v", m.PhaseCache)
+	}
+	if m.PhaseCache.Bytes <= 0 || m.PhaseCache.Entries <= 0 {
+		t.Errorf("cache reports no resident state after warm runs: %+v", m.PhaseCache)
+	}
+}
+
+// TestPhaseCacheConcurrentStreams hammers one Session's cache from many
+// concurrent streams drawing the same batch — the worst case for the cache's
+// internal locking and for hidden mutation of shared entries. Run under
+// -race in CI. Every stream must produce the solo run's exact output.
+func TestPhaseCacheConcurrentStreams(t *testing.T) {
+	e := testEngine(t)
+	sess, err := e.Open("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := StreamRequest{K: 8, Spec: SpecFor(SamplerPhase), SeedBase: 13, Workers: 4}
+	want, err := sess.Collect(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const racers = 6
+	results := make([]*BatchResult, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for r := 0; r < racers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = sess.Collect(context.Background(), req)
+		}(r)
+	}
+	// Metrics readers race the cache's counters and the registry sweep.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = e.Metrics()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	for r := 0; r < racers; r++ {
+		if errs[r] != nil {
+			t.Fatalf("racer %d: %v", r, errs[r])
+		}
+		if !reflect.DeepEqual(encodeAll(want), encodeAll(results[r])) {
+			t.Errorf("racer %d produced different trees", r)
+		}
+		if !reflect.DeepEqual(want.Stats, results[r].Stats) {
+			t.Errorf("racer %d produced different stats", r)
+		}
+	}
+}
+
+// TestPhaseCacheDisabled covers the eviction knob's off position: a negative
+// budget disables the cache entirely, sampling still works, and the metrics
+// surface reports no capacity and no traffic.
+func TestPhaseCacheDisabled(t *testing.T) {
+	e := New(Options{Config: core.Config{WalkLength: 256, PhaseCacheMB: -1}})
+	if err := e.RegisterFamily("g", "expander", 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := collectBatch(e, "g", StreamRequest{K: 3, Spec: SpecFor(SamplerPhase), SeedBase: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Samples != 3 {
+		t.Errorf("batch incomplete with cache disabled: %+v", res.Summary)
+	}
+	if m := e.Metrics(); m.PhaseCache.CapacityBytes != 0 || m.PhaseCache.Hits != 0 || m.PhaseCache.Entries != 0 {
+		t.Errorf("disabled cache reports activity: %+v", m.PhaseCache)
+	}
+	// The enabled default must agree tree-for-tree with the disabled engine.
+	e2 := New(Options{Config: core.Config{WalkLength: 256}})
+	if err := e2.RegisterFamily("g", "expander", 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := collectBatch(e2, "g", StreamRequest{K: 3, Spec: SpecFor(SamplerPhase), SeedBase: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(encodeAll(res), encodeAll(res2)) {
+		t.Error("cache-disabled and cache-enabled engines disagree")
+	}
+}
+
+// TestNoPhaseCacheSpecValidation: the knob belongs to the samplers that have
+// later-phase state; everything else rejects it, without misreporting the
+// sampler as unknown.
+func TestNoPhaseCacheSpecValidation(t *testing.T) {
+	for _, name := range []Sampler{SamplerPhase, SamplerExact} {
+		spec := SpecFor(name)
+		spec.NoPhaseCache = true
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: NoPhaseCache rejected: %v", name, err)
+		}
+	}
+	for _, name := range []Sampler{SamplerLowCover, SamplerAldousBroder, SamplerWilson, SamplerMST} {
+		spec := SpecFor(name)
+		spec.NoPhaseCache = true
+		err := spec.Validate()
+		if err == nil {
+			t.Errorf("%s: NoPhaseCache accepted", name)
+		} else if errors.Is(err, ErrUnknownSampler) {
+			t.Errorf("%s: misreported as unknown sampler: %v", name, err)
+		}
+	}
+}

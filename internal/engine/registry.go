@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/spanning"
 )
@@ -24,11 +25,11 @@ type entry struct {
 	g   *graph.Graph
 
 	phaseOnce sync.Once
-	phase     *core.Prepared
+	phase     atomic.Pointer[core.Prepared] // published for lock-free metrics reads
 	phaseErr  error
 
 	exactOnce sync.Once
-	exact     *core.Prepared
+	exact     atomic.Pointer[core.Prepared] // published for lock-free metrics reads
 	exactErr  error
 
 	countOnce sync.Once
@@ -40,18 +41,40 @@ type entry struct {
 // building it on first use.
 func (ent *entry) prepared(cfg core.Config) (*core.Prepared, error) {
 	ent.phaseOnce.Do(func() {
-		ent.phase, ent.phaseErr = core.Prepare(ent.g, cfg)
+		p, err := core.Prepare(ent.g, cfg)
+		ent.phaseErr = err
+		if err == nil {
+			ent.phase.Store(p)
+		}
 	})
-	return ent.phase, ent.phaseErr
+	return ent.phase.Load(), ent.phaseErr
 }
 
 // preparedExact is prepared for the appendix's exact variant, which uses a
 // different distinct-vertex budget and therefore its own power table.
 func (ent *entry) preparedExact(cfg core.Config) (*core.Prepared, error) {
 	ent.exactOnce.Do(func() {
-		ent.exact, ent.exactErr = core.PrepareExact(ent.g, cfg)
+		p, err := core.PrepareExact(ent.g, cfg)
+		ent.exactErr = err
+		if err == nil {
+			ent.exact.Store(p)
+		}
 	})
-	return ent.exact, ent.exactErr
+	return ent.exact.Load(), ent.exactErr
+}
+
+// cacheStats folds the entry's phase-sampler and exact-sampler later-phase
+// cache counters (each Prepared owns one cache; either may not exist yet —
+// precomputation is lazy, so only published pointers are read).
+func (ent *entry) cacheStats() phasecache.Stats {
+	var s phasecache.Stats
+	if p := ent.phase.Load(); p != nil {
+		s = s.Add(p.CacheStats())
+	}
+	if p := ent.exact.Load(); p != nil {
+		s = s.Add(p.CacheStats())
+	}
+	return s
 }
 
 // treeCount returns the exact spanning tree count (Matrix-Tree), cached.
@@ -79,6 +102,16 @@ func (r *registry) size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.entries)
+}
+
+// each calls fn for every registered entry under the read lock; fn must be
+// fast and must not call back into the registry.
+func (r *registry) each(fn func(*entry)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ent := range r.entries {
+		fn(ent)
+	}
 }
 
 func (r *registry) get(key string) (*entry, error) {

@@ -51,6 +51,11 @@ func NewSession(g *graph.Graph, opts Options) (*Session, error) {
 // standalone sessions).
 func (s *Session) Key() string { return s.ent.key }
 
+// Engine returns the engine backing this session (the private single-graph
+// engine for standalone sessions) — the handle to pool-wide metrics from a
+// session-first call site.
+func (s *Session) Engine() *Engine { return s.eng }
+
 // Graph returns the session's graph (shared and read-only).
 func (s *Session) Graph() *graph.Graph { return s.ent.g }
 
@@ -89,9 +94,22 @@ func (s *Session) Sample(ctx context.Context, spec SamplerSpec, seed uint64) (*s
 	return tree, st, nil
 }
 
+// BatchResult is one completed batch: trees and stats indexed by sample
+// number (sample i used seed stream i regardless of which worker ran it),
+// plus the folded summary.
+type BatchResult struct {
+	GraphKey string
+	Sampler  Sampler
+	Spec     SamplerSpec
+	SeedBase uint64
+	Trees    []*spanning.Tree
+	Stats    []core.Stats
+	Summary  Summary
+	Elapsed  time.Duration
+}
+
 // Collect runs req as a stream and gathers every result into an
-// index-ordered BatchResult — the collect-all form of Stream, and the
-// implementation behind the legacy Engine.SampleBatch.
+// index-ordered BatchResult — the collect-all form of Stream.
 func (s *Session) Collect(ctx context.Context, req StreamRequest) (*BatchResult, error) {
 	start := time.Now()
 	st, err := s.Stream(ctx, req)

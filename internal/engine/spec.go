@@ -43,6 +43,13 @@ type SamplerSpec struct {
 	// (default 0). Only valid with SamplerAldousBroder and SamplerWilson;
 	// the tree distribution is root-independent, but the per-seed tree is not.
 	Root int `json:"root,omitempty"`
+	// NoPhaseCache bypasses the later-phase state cache for this request
+	// (neither read nor populated); the phase-0 precomputation is still
+	// reused. Outputs and Stats are byte-identical either way — the knob
+	// exists for A/B measurement (warm-vs-cold benchmarks, cache-suspect
+	// debugging), not correctness. Only valid with SamplerPhase and
+	// SamplerExact, the samplers that have later-phase state.
+	NoPhaseCache bool `json:"no_phase_cache,omitempty"`
 }
 
 // SpecFor returns the spec running the named sampler with default knobs.
@@ -80,6 +87,9 @@ func (s SamplerSpec) normalized() (SamplerSpec, error) {
 	}
 	if s.Root > 0 && s.Name != SamplerAldousBroder && s.Name != SamplerWilson {
 		return s, fmt.Errorf("engine: root only applies to %q and %q, not %q", SamplerAldousBroder, SamplerWilson, s.Name)
+	}
+	if s.NoPhaseCache && s.Name != SamplerPhase && s.Name != SamplerExact {
+		return s, fmt.Errorf("engine: no_phase_cache only applies to %q and %q, not %q", SamplerPhase, SamplerExact, s.Name)
 	}
 	return s, nil
 }

@@ -10,6 +10,11 @@ import (
 	"repro/internal/spanning"
 )
 
+// maxBatchSize caps a single batch or stream request. It is a service guard
+// against runaway requests, not an engine limit; callers needing more issue
+// several requests with disjoint seed bases.
+const maxBatchSize = 1 << 20
+
 // StreamRequest describes one streaming sampling job on a Session.
 type StreamRequest struct {
 	// K is the number of trees to draw.

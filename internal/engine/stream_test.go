@@ -12,22 +12,22 @@ import (
 	"repro/internal/graph"
 )
 
-// TestStreamGoldenDeterminism is the redesign's golden contract: a Stream
-// reassembled by index is byte-identical to the legacy SampleBatch output —
-// trees and stats — across 1, 4, and GOMAXPROCS workers, even though stream
+// TestStreamGoldenDeterminism is the Session API's golden contract: a Stream
+// reassembled by index is byte-identical to a single-worker Collect — trees
+// and stats — across 1, 4, and GOMAXPROCS workers, even though stream
 // results arrive in completion order.
 func TestStreamGoldenDeterminism(t *testing.T) {
 	e := testEngine(t)
 	for _, sampler := range []Sampler{SamplerPhase, SamplerWilson} {
-		legacy, err := e.SampleBatch(context.Background(), BatchRequest{
-			GraphKey: "g", K: 12, Sampler: sampler, SeedBase: 9, Workers: 1,
-		})
-		if err != nil {
-			t.Fatalf("%s legacy: %v", sampler, err)
-		}
 		sess, err := e.Open("g")
 		if err != nil {
 			t.Fatal(err)
+		}
+		baseline, err := sess.Collect(context.Background(), StreamRequest{
+			K: 12, Spec: SpecFor(sampler), SeedBase: 9, Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", sampler, err)
 		}
 		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 			st, err := sess.Stream(context.Background(), StreamRequest{
@@ -50,38 +50,13 @@ func TestStreamGoldenDeterminism(t *testing.T) {
 			if got != 12 {
 				t.Fatalf("%s stream w=%d delivered %d of 12", sampler, workers, got)
 			}
-			if !reflect.DeepEqual(trees, encodeAll(legacy)) {
-				t.Errorf("%s w=%d: stream trees differ from legacy batch", sampler, workers)
+			if !reflect.DeepEqual(trees, encodeAll(baseline)) {
+				t.Errorf("%s w=%d: stream trees differ from single-worker collect", sampler, workers)
 			}
-			if !reflect.DeepEqual(stats, legacy.Stats) {
-				t.Errorf("%s w=%d: stream stats differ from legacy batch", sampler, workers)
+			if !reflect.DeepEqual(stats, baseline.Stats) {
+				t.Errorf("%s w=%d: stream stats differ from single-worker collect", sampler, workers)
 			}
 		}
-	}
-}
-
-// TestCollectMatchesSampleBatch pins the shim: Engine.SampleBatch and
-// Session.Collect with the converted request are the same computation.
-func TestCollectMatchesSampleBatch(t *testing.T) {
-	e := testEngine(t)
-	req := BatchRequest{GraphKey: "g", K: 6, Sampler: SamplerLowCover, SeedBase: 3}
-	legacy, err := e.SampleBatch(context.Background(), req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sess, err := e.Open("g")
-	if err != nil {
-		t.Fatal(err)
-	}
-	collected, err := sess.Collect(context.Background(), req.StreamRequest())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(encodeAll(legacy), encodeAll(collected)) {
-		t.Error("Collect trees differ from SampleBatch")
-	}
-	if legacy.Sampler != collected.Sampler || legacy.Spec != collected.Spec {
-		t.Errorf("result identity differs: %+v vs %+v", legacy.Spec, collected.Spec)
 	}
 }
 
@@ -143,7 +118,7 @@ func TestStreamCancellation(t *testing.T) {
 
 	// The engine must remain reusable after the abort.
 	e.sampleHook = nil
-	res, err := e.SampleBatch(context.Background(), BatchRequest{GraphKey: "g", K: 4, Sampler: SamplerWilson, SeedBase: 2})
+	res, err := sess.Collect(context.Background(), StreamRequest{K: 4, Spec: SpecFor(SamplerWilson), SeedBase: 2})
 	if err != nil {
 		t.Fatalf("engine not reusable after canceled stream: %v", err)
 	}

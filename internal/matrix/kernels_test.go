@@ -1,0 +1,175 @@
+package matrix
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// TestMulIntoMatchesMul: the allocation-lean kernel is the same computation
+// as Mul, bit for bit, including on a dirty (reused) destination.
+func TestMulIntoMatchesMul(t *testing.T) {
+	src := prng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		r := 1 + src.Intn(12)
+		k := 1 + src.Intn(12)
+		c := 1 + src.Intn(12)
+		a := randomMatrix(r, k, src)
+		b := randomMatrix(k, c, src)
+		want, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := randomMatrix(r, c, src) // dirty on purpose
+		if err := MulInto(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dst.data, want.data) {
+			t.Fatalf("trial %d: MulInto differs from Mul", trial)
+		}
+	}
+	// Shape and aliasing guards.
+	a := randomMatrix(3, 4, src)
+	b := randomMatrix(4, 2, src)
+	if err := MulInto(MustNew(2, 2), a, b); err == nil {
+		t.Error("wrong-shape dst accepted")
+	}
+	sq := randomMatrix(3, 3, src)
+	if err := MulInto(sq, sq, randomMatrix(3, 3, src)); err == nil {
+		t.Error("aliased dst accepted")
+	}
+}
+
+// TestSolveIntoMatchesSolve covers the in-place solve, including the
+// rhs-aliases-solution mode the Schur column sweeps use.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	src := prng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + src.Intn(10)
+		a := randomMatrix(n, n, src)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // diagonally dominant: never singular
+		}
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = src.Float64()
+		}
+		want, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		if err := f.SolveInto(got, b); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: SolveInto differs from Solve", trial)
+		}
+		// Aliased: solve in place on a copy of b.
+		inPlace := append([]float64(nil), b...)
+		if err := f.SolveInto(inPlace, inPlace); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(inPlace, want) {
+			t.Fatalf("trial %d: aliased SolveInto differs from Solve", trial)
+		}
+	}
+}
+
+// TestFactorScratchMatchesFactor: pooled factorization is the same
+// elimination, and Release makes the buffer reusable without corrupting
+// still-live results.
+func TestFactorScratchMatchesFactor(t *testing.T) {
+	src := prng.New(3)
+	n := 8
+	a := randomMatrix(n, n, src)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	plain, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := FactorScratch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := plain.Det(), pooled.Det(); d1 != d2 {
+		t.Fatalf("determinants differ: %g vs %g", d1, d2)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = src.Float64()
+	}
+	want, err := plain.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pooled.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pooled factorization solves differently")
+	}
+	pooled.Release()
+	if singular, err := FactorScratch(MustNew(2, 2)); err == nil {
+		singular.Release()
+		t.Error("singular matrix factored")
+	}
+}
+
+// TestScratchPoolReuse: released buffers come back, counters move, and a
+// reused scratch matrix starts zeroed.
+func TestScratchPoolReuse(t *testing.T) {
+	before := ReadPoolStats()
+	m := Scratch(6, 6)
+	m.Set(2, 3, 42)
+	m.Release()
+	m2 := Scratch(4, 4) // smaller: must fit the recycled buffer
+	defer m2.Release()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if m2.At(i, j) != 0 {
+				t.Fatalf("reused scratch not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+	after := ReadPoolStats()
+	if after.Gets <= before.Gets || after.Puts <= before.Puts {
+		t.Errorf("pool counters did not advance: %+v -> %+v", before, after)
+	}
+}
+
+// TestSubmatrixScratchMatchesSubmatrix pins the pooled variant to the
+// allocating one.
+func TestSubmatrixScratchMatchesSubmatrix(t *testing.T) {
+	src := prng.New(5)
+	m := randomMatrix(6, 6, src)
+	rows := []int{0, 2, 5}
+	cols := []int{1, 3}
+	want, err := m.Submatrix(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.SubmatrixScratch(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Release()
+	if !reflect.DeepEqual(got.data[:len(want.data)], want.data) {
+		t.Fatal("SubmatrixScratch differs from Submatrix")
+	}
+	if _, err := m.SubmatrixScratch([]int{9}, cols); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if math.IsNaN(want.At(0, 0)) {
+		t.Error("unexpected NaN") // keep math import honest
+	}
+}

@@ -157,21 +157,53 @@ func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
 	}
 	out := MustNew(m.rows, o.cols)
-	// ikj ordering: stream rows of o, accumulate into rows of out.
-	for i := 0; i < m.rows; i++ {
-		mi := m.Row(i)
+	mulAccum(out, m, o)
+	return out, nil
+}
+
+// MulInto computes dst = a*b, overwriting dst, which must already have the
+// product's shape and must not alias a or b. It is Mul without the output
+// allocation — the allocation-lean form for callers holding scratch buffers.
+func MulInto(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("matrix: MulInto dst is %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols)
+	}
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		return fmt.Errorf("matrix: MulInto dst aliases an operand")
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	mulAccum(dst, a, b)
+	return nil
+}
+
+// sameBacking reports whether two matrices share a backing array. Matrices
+// in this package always own their whole array (Row shares windows of it,
+// but never across Matrix values), so comparing the first elements suffices.
+func sameBacking(x, y *Matrix) bool {
+	return len(x.data) > 0 && len(y.data) > 0 && &x.data[0] == &y.data[0]
+}
+
+// mulAccum adds a*b into out (shapes already validated, out zeroed by the
+// caller). ikj ordering: stream rows of b, accumulate into rows of out.
+func mulAccum(out, a, b *Matrix) {
+	for i := 0; i < a.rows; i++ {
+		mi := a.Row(i)
 		oi := out.Row(i)
-		for k, a := range mi {
-			if a == 0 {
+		for k, f := range mi {
+			if f == 0 {
 				continue
 			}
-			ok := o.Row(k)
-			for j, b := range ok {
-				oi[j] += a * b
+			bk := b.Row(k)
+			for j, v := range bk {
+				oi[j] += f * v
 			}
 		}
 	}
-	return out, nil
 }
 
 // MulVec returns the matrix-vector product m*v.
@@ -224,7 +256,24 @@ func (m *Matrix) Submatrix(rowIdx, colIdx []int) (*Matrix, error) {
 	if len(rowIdx) == 0 || len(colIdx) == 0 {
 		return nil, fmt.Errorf("matrix: empty submatrix index set")
 	}
-	out := MustNew(len(rowIdx), len(colIdx))
+	return m.submatrixInto(MustNew(len(rowIdx), len(colIdx)), rowIdx, colIdx)
+}
+
+// SubmatrixScratch is Submatrix with the output drawn from the scratch pool;
+// the caller must Release it.
+func (m *Matrix) SubmatrixScratch(rowIdx, colIdx []int) (*Matrix, error) {
+	if len(rowIdx) == 0 || len(colIdx) == 0 {
+		return nil, fmt.Errorf("matrix: empty submatrix index set")
+	}
+	out := Scratch(len(rowIdx), len(colIdx))
+	if _, err := m.submatrixInto(out, rowIdx, colIdx); err != nil {
+		out.Release()
+		return nil, err
+	}
+	return out, nil
+}
+
+func (m *Matrix) submatrixInto(out *Matrix, rowIdx, colIdx []int) (*Matrix, error) {
 	for i, r := range rowIdx {
 		if r < 0 || r >= m.rows {
 			return nil, fmt.Errorf("matrix: row index %d out of range [0,%d)", r, m.rows)

@@ -1,0 +1,83 @@
+package matrix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The scratch pool recycles the backing arrays of short-lived matrices — the
+// transient intermediates of Schur elimination, absorbing-chain solves, and
+// repeated squaring — so the sampler's per-phase steady state stops paying
+// allocator and GC cost for buffers it discards microseconds later. Long-
+// lived matrices (cached power tables, returned results) must NOT go through
+// the pool; they are owned by their holders.
+//
+// The pool stores bare float64 slices and matches by capacity: a request is
+// served by any pooled slice large enough, so the shrinking per-phase
+// dimensions of a sampler run all reuse the first (largest) buffers.
+var scratchPool sync.Pool
+
+// Pool counters, exposed via ReadPoolStats for the engine's metrics surface.
+var (
+	poolGets   atomic.Int64
+	poolReuses atomic.Int64
+	poolPuts   atomic.Int64
+)
+
+// PoolStats reports the scratch pool's cumulative, process-wide counters.
+// Reuses/Gets is the pool hit rate; the gap is fresh allocations.
+type PoolStats struct {
+	Gets   int64 `json:"gets"`
+	Reuses int64 `json:"reuses"`
+	Puts   int64 `json:"puts"`
+}
+
+// ReadPoolStats returns a snapshot of the scratch pool counters.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		Gets:   poolGets.Load(),
+		Reuses: poolReuses.Load(),
+		Puts:   poolPuts.Load(),
+	}
+}
+
+// Scratch returns a zeroed rows x cols matrix whose storage may come from
+// the pool. The caller owns it until Release; it must not be retained past
+// Release, stored in caches, or returned across package boundaries.
+func Scratch(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("matrix: invalid scratch dimensions")
+	}
+	need := rows * cols
+	poolGets.Add(1)
+	if v := scratchPool.Get(); v != nil {
+		buf := v.([]float64)
+		if cap(buf) >= need {
+			poolReuses.Add(1)
+			buf = buf[:need]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return &Matrix{rows: rows, cols: cols, data: buf}
+		}
+		// Too small for this request: put it back for smaller callers and
+		// allocate fresh. (Sampler phases shrink over time, so the common
+		// pattern is the reverse — the first, largest buffer serves all.)
+		scratchPool.Put(buf) //nolint:staticcheck // slice, not pointer: sizes vary
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, need)}
+}
+
+// Release returns the matrix's storage to the scratch pool. The matrix must
+// not be used afterwards. Releasing a matrix that did not come from Scratch
+// is allowed (its buffer simply joins the pool) — but never release a matrix
+// something else still references.
+func (m *Matrix) Release() {
+	if m == nil || m.data == nil {
+		return
+	}
+	poolPuts.Add(1)
+	scratchPool.Put(m.data[:cap(m.data)]) //nolint:staticcheck // slice, not pointer: sizes vary
+	m.data = nil
+	m.rows, m.cols = 0, 0
+}

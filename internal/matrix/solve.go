@@ -20,8 +20,13 @@ func Factor(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("matrix: LU of non-square %dx%d matrix", a.rows, a.cols)
 	}
-	n := a.rows
-	lu := a.Clone()
+	return factorInPlace(a.Clone())
+}
+
+// factorInPlace runs the pivoted elimination destructively on lu, which the
+// returned LU takes ownership of.
+func factorInPlace(lu *Matrix) (*LU, error) {
+	n := lu.rows
 	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = i
@@ -75,13 +80,40 @@ func (f *LU) Det() float64 {
 
 // Solve solves A*x = b for one right-hand side.
 func (f *LU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A*x = b into a caller-provided solution vector — Solve
+// without the per-call allocation, for repeated solves against one
+// factorization (column sweeps in Schur elimination). x and b must be the
+// identical slice (in-place solve) or fully disjoint; partially overlapping
+// slices are not detected and corrupt the permutation step.
+func (f *LU) SolveInto(x, b []float64) error {
 	n := f.lu.rows
 	if len(b) != n {
-		return nil, fmt.Errorf("matrix: solve rhs length %d, want %d", len(b), n)
+		return fmt.Errorf("matrix: solve rhs length %d, want %d", len(b), n)
 	}
-	x := make([]float64, n)
-	for i := 0; i < n; i++ {
-		x[i] = b[f.perm[i]]
+	if len(x) != n {
+		return fmt.Errorf("matrix: solve destination length %d, want %d", len(x), n)
+	}
+	if &x[0] == &b[0] {
+		// Permute in place: applying perm to an aliased buffer needs a cycle
+		// walk; a scratch copy is simpler and still allocation-free for the
+		// caller's steady state.
+		tmp := Scratch(1, n)
+		copy(tmp.data, b)
+		for i := 0; i < n; i++ {
+			x[i] = tmp.data[f.perm[i]]
+		}
+		tmp.Release()
+	} else {
+		for i := 0; i < n; i++ {
+			x[i] = b[f.perm[i]]
+		}
 	}
 	// Forward substitution with unit-diagonal L.
 	for i := 1; i < n; i++ {
@@ -101,7 +133,35 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = s / row[i]
 	}
-	return x, nil
+	return nil
+}
+
+// FactorScratch is Factor with the factorization's working matrix drawn from
+// the scratch pool; pair it with LU.Release when the factorization is
+// transient (one elimination pass, then discarded).
+func FactorScratch(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: LU of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	work := Scratch(a.rows, a.cols)
+	copy(work.data, a.data)
+	f, err := factorInPlace(work)
+	if err != nil {
+		work.Release()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Release returns the factorization's working matrix to the scratch pool.
+// Only meaningful (and only safe) for transient factorizations the caller
+// owns; the LU must not be used afterwards.
+func (f *LU) Release() {
+	if f == nil || f.lu == nil {
+		return
+	}
+	f.lu.Release()
+	f.lu = nil
 }
 
 // Det returns the determinant of a square matrix via LU factorization.

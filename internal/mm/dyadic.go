@@ -95,6 +95,21 @@ func ReplayDyadicTable(sim *clique.Sim, backend Backend, pd *matrix.PowerDyadic)
 	return nil
 }
 
+// ChargeSchurShortcutBuild charges the Corollaries 2-3 cost of producing a
+// later phase's Schur and shortcut transition matrices: maxExp repeated
+// squarings of the 2n-dimensional augmented chain, each at the backend's
+// predicted round cost. The cold path pays this immediately before building
+// its dyadic table; a phase-cache hit replays the same charge (followed by
+// ReplayDyadicTable), so warm and cold runs report identical Stats. Like
+// ReplayDyadicTable, the charge-for-real equivalence holds only for backends
+// whose Mul charges exactly CostRounds (mm.Fast).
+func ChargeSchurShortcutBuild(sim *clique.Sim, backend Backend, n, maxExp int) error {
+	if backend == nil {
+		return fmt.Errorf("mm: nil backend")
+	}
+	return sim.ChargeRounds(maxExp*backend.CostRounds(2*n), "schur+shortcut")
+}
+
 // distributeColumns performs the Algorithm 1 step 3 all-to-all for one
 // matrix: machine i sends entry [i,j] to machine j, a balanced exchange of
 // one word per ordered machine pair (1 round). After it, machine j holds

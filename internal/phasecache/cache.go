@@ -1,0 +1,259 @@
+// Package phasecache memoizes the later-phase algebraic state of the
+// Theorem 1 sampler: for each phase, the walk runs on Schur(G, S) for the
+// phase's vertex subset S, and building that state — the Schur transition
+// matrix, the shortcut transition matrix Q, and the dyadic power table
+// P, P^2, ..., P^l — is the numeric bulk of the phase (Corollaries 2-3:
+// O(log(n^3/δ)) repeated squarings each). PR 1 made phase 0 warm-cacheable
+// because phase 0 always walks the full vertex set; this package generalizes
+// the idea to every phase by keying the cached triple on the subset itself.
+//
+// Hits arise wherever two phase executions share a subset: repeated batches
+// with the same seed base (idempotent retries, replays, audit-after-sample),
+// Las Vegas walk extensions (the exact sampler re-enters the same subset once
+// per extension segment), and any pair of concurrent samples whose visited
+// prefixes coincide. The cache is shared by all of a graph entry's Sessions
+// and stream workers.
+//
+// Correctness contract: an Entry is a pure function of (graph, config,
+// subset). Entries are only ever populated from the cold path's own output
+// under the local (mm.Fast) backend, whose matrix products are deterministic
+// sequential float64 code — so a hit returns bit-identical matrices to what
+// recomputation would produce, and cached sampling is byte-identical to cold
+// sampling per (seed, index). Round accounting on a hit is replayed by the
+// caller (see core.newPhaseRunner and mm.ReplayDyadicTable) so Stats also
+// match exactly.
+//
+// The cache is a byte-bounded, concurrency-safe LRU. Entries are immutable
+// after Put; readers share them without copying.
+package phasecache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// Entry is the cached algebraic state of one phase subset: the shortcut
+// transition matrix Q of ShortCut(G, S) and the dyadic power table of the
+// Schur(G, S) walk matrix. The Schur transition matrix itself is Powers'
+// first power (mm.DyadicTable seeds the table with it), so it is not stored
+// again. All of it is immutable once cached; concurrent samples read it in
+// place.
+type Entry struct {
+	// Members is the sorted vertex subset this state was built for — kept to
+	// make lookups exact (a 64-bit key collision can never serve the wrong
+	// subset's matrices).
+	Members []int
+	// Shortcut is the transition matrix Q of ShortCut(G, S)
+	// (schur.ShortcutTransition).
+	Shortcut *matrix.Matrix
+	// Powers is the dyadic power table of the Schur transition matrix
+	// (mm.DyadicTable output; Pows[0] is the Schur matrix itself).
+	Powers *matrix.PowerDyadic
+}
+
+// cost returns the approximate resident size of the entry in bytes: its
+// float64 payloads, which dwarf the slice headers and members list.
+func (e *Entry) cost() int64 {
+	var floats int64
+	if e.Shortcut != nil {
+		floats += int64(e.Shortcut.Rows()) * int64(e.Shortcut.Cols())
+	}
+	if e.Powers != nil {
+		for _, p := range e.Powers.Pows {
+			if p != nil {
+				floats += int64(p.Rows()) * int64(p.Cols())
+			}
+		}
+	}
+	return floats*8 + int64(len(e.Members))*8
+}
+
+// KeyOf hashes a sorted member list to the cache's 64-bit key (FNV-1a over
+// the members and the length). Collisions are tolerated — Get compares the
+// stored Members exactly — but must not be manufactured cheaply, which FNV
+// over full ints is good enough for.
+func KeyOf(members []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(len(members)))
+	for _, m := range members {
+		mix(uint64(m))
+	}
+	return h
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups served from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that fell through to a cold build.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped to stay under the byte budget.
+	Evictions int64 `json:"evictions"`
+	// Rejected counts entries too large to ever fit the budget (never
+	// inserted).
+	Rejected int64 `json:"rejected"`
+	// Entries is the current resident entry count.
+	Entries int `json:"entries"`
+	// Bytes is the current approximate resident size.
+	Bytes int64 `json:"bytes"`
+	// CapacityBytes is the configured budget.
+	CapacityBytes int64 `json:"capacity_bytes"`
+}
+
+// Add returns the fieldwise sum of two snapshots (capacity included), used
+// by the engine to aggregate per-graph caches into one metrics block.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:          s.Hits + o.Hits,
+		Misses:        s.Misses + o.Misses,
+		Evictions:     s.Evictions + o.Evictions,
+		Rejected:      s.Rejected + o.Rejected,
+		Entries:       s.Entries + o.Entries,
+		Bytes:         s.Bytes + o.Bytes,
+		CapacityBytes: s.CapacityBytes + o.CapacityBytes,
+	}
+}
+
+type node struct {
+	key   uint64
+	entry *Entry
+	cost  int64
+}
+
+// Cache is a byte-bounded LRU of phase entries. All methods are safe for
+// concurrent use, and safe on a nil receiver (a nil *Cache is a disabled
+// cache: every Get misses without counting, every Put is dropped).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	lru      *list.List               // of *node, front = most recent
+	index    map[uint64]*list.Element // key -> element
+
+	hits, misses, evictions, rejected int64
+}
+
+// New returns a cache bounded to capacityBytes of matrix payload. A
+// non-positive capacity yields a nil (disabled) cache.
+func New(capacityBytes int64) *Cache {
+	if capacityBytes <= 0 {
+		return nil
+	}
+	return &Cache{
+		capacity: capacityBytes,
+		lru:      list.New(),
+		index:    make(map[uint64]*list.Element),
+	}
+}
+
+// Get returns the cached entry for the sorted member list, if present. The
+// returned entry is shared and must be treated as read-only.
+func (c *Cache) Get(members []int) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	key := KeyOf(members)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		n := el.Value.(*node)
+		if sameMembers(n.entry.Members, members) {
+			c.lru.MoveToFront(el)
+			c.hits++
+			return n.entry, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts the entry under its Members key, evicting least-recently-used
+// entries as needed to stay under the byte budget. If the key is already
+// present with the same Members (two workers raced on the same cold build)
+// the resident entry is kept — both builds are bit-identical, so which one
+// wins is unobservable. If the key is present with different Members (a
+// 64-bit hash collision between distinct subsets), the newcomer replaces
+// the resident entry; keeping the old one would permanently un-cache the
+// colliding subset, since Get's exact member comparison can only ever serve
+// one of the two. Entries larger than the whole budget are rejected rather
+// than thrashing the cache.
+func (c *Cache) Put(e *Entry) {
+	if c == nil || e == nil {
+		return
+	}
+	cost := e.cost()
+	key := KeyOf(e.Members)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.capacity {
+		c.rejected++
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		n := el.Value.(*node)
+		if sameMembers(n.entry.Members, e.Members) {
+			c.lru.MoveToFront(el)
+			return
+		}
+		c.lru.Remove(el)
+		delete(c.index, key)
+		c.bytes -= n.cost
+		c.evictions++
+	}
+	for c.bytes+cost > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		n := back.Value.(*node)
+		c.lru.Remove(back)
+		delete(c.index, n.key)
+		c.bytes -= n.cost
+		c.evictions++
+	}
+	c.index[key] = c.lru.PushFront(&node{key: key, entry: e, cost: cost})
+	c.bytes += cost
+}
+
+// Stats returns a snapshot of the cache's counters. A nil cache reports the
+// zero value.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Rejected:      c.rejected,
+		Entries:       c.lru.Len(),
+		Bytes:         c.bytes,
+		CapacityBytes: c.capacity,
+	}
+}
+
+func sameMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

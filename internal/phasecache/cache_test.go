@@ -1,0 +1,156 @@
+package phasecache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// testEntry builds an entry for the member list whose payload is a k x k
+// shortcut matrix plus a two-level power table, with a recognizable value.
+func testEntry(members []int, val float64) *Entry {
+	k := len(members)
+	mk := func() *matrix.Matrix {
+		m := matrix.MustNew(k, k)
+		m.Set(0, 0, val)
+		return m
+	}
+	return &Entry{
+		Members:  members,
+		Shortcut: mk(),
+		Powers:   &matrix.PowerDyadic{Pows: []*matrix.Matrix{mk(), mk()}},
+	}
+}
+
+func TestCacheHitMissAndExactness(t *testing.T) {
+	c := New(1 << 20)
+	a := []int{0, 2, 5}
+	if _, ok := c.Get(a); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(testEntry(a, 7))
+	got, ok := c.Get(a)
+	if !ok || got.Shortcut.At(0, 0) != 7 {
+		t.Fatalf("expected hit with value 7, got %v %v", got, ok)
+	}
+	// A different subset must miss even though the cache is non-empty.
+	if _, ok := c.Get([]int{0, 2, 6}); ok {
+		t.Fatal("hit for a subset never inserted")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 1 || s.Bytes <= 0 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	// Racing Put on the same key keeps the resident entry.
+	c.Put(testEntry(a, 9))
+	got, _ = c.Get(a)
+	if got.Shortcut.At(0, 0) != 7 {
+		t.Error("duplicate Put replaced the resident entry")
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Errorf("duplicate Put changed entry count: %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	one := testEntry([]int{0, 1, 2, 3}, 1).cost()
+	// Room for exactly three entries of this shape.
+	c := New(3 * one)
+	subsets := [][]int{{0, 1, 2, 3}, {1, 2, 3, 4}, {2, 3, 4, 5}, {3, 4, 5, 6}}
+	for _, s := range subsets[:3] {
+		c.Put(testEntry(s, 1))
+	}
+	// Touch the first so the second becomes least recently used.
+	if _, ok := c.Get(subsets[0]); !ok {
+		t.Fatal("expected resident entry")
+	}
+	c.Put(testEntry(subsets[3], 1))
+	if _, ok := c.Get(subsets[1]); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+	for _, s := range [][]int{subsets[0], subsets[2], subsets[3]} {
+		if _, ok := c.Get(s); !ok {
+			t.Errorf("entry %v evicted out of LRU order", s)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Errorf("eviction accounting wrong: %+v", st)
+	}
+	if st.Bytes > st.CapacityBytes {
+		t.Errorf("resident bytes %d exceed capacity %d", st.Bytes, st.CapacityBytes)
+	}
+}
+
+func TestCacheRejectsOversize(t *testing.T) {
+	small := New(16) // smaller than any real entry
+	small.Put(testEntry([]int{0, 1}, 1))
+	if s := small.Stats(); s.Entries != 0 || s.Rejected != 1 {
+		t.Errorf("oversize entry not rejected: %+v", s)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c := New(0); c != nil {
+		t.Error("New(0) should return a disabled (nil) cache")
+	}
+	if c := New(-5); c != nil {
+		t.Error("negative capacity should return a disabled (nil) cache")
+	}
+	c.Put(testEntry([]int{0, 1}, 1))
+	if _, ok := c.Get([]int{0, 1}); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil cache reports non-zero stats: %+v", s)
+	}
+}
+
+func TestKeyOfDistinguishesLengthAndOrder(t *testing.T) {
+	pairs := [][2][]int{
+		{{0, 1}, {0, 1, 2}},
+		{{0, 1, 2}, {0, 1, 3}},
+		{{1}, {0, 1}},
+	}
+	for _, p := range pairs {
+		if KeyOf(p[0]) == KeyOf(p[1]) {
+			t.Errorf("KeyOf collision between %v and %v", p[0], p[1])
+		}
+	}
+	if KeyOf([]int{4, 7, 9}) != KeyOf([]int{4, 7, 9}) {
+		t.Error("KeyOf not deterministic")
+	}
+}
+
+// TestCacheConcurrentAccess drives mixed Get/Put/Stats traffic from many
+// goroutines; run with -race it proves the locking.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := New(1 << 18)
+	subsets := make([][]int, 16)
+	for i := range subsets {
+		subsets[i] = []int{i, i + 1, i + 2}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := subsets[(w+i)%len(subsets)]
+				if _, ok := c.Get(s); !ok {
+					c.Put(testEntry(s, float64(len(s))))
+				}
+				if i%17 == 0 {
+					_ = c.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits == 0 || s.Entries == 0 {
+		t.Errorf("concurrent traffic produced no hits or entries: %+v", s)
+	}
+}

@@ -37,7 +37,8 @@ func IterativeShortcutTransition(g *graph.Graph, sub *Subset, squarings int) (*m
 		return nil, err
 	}
 	n := g.N()
-	r := matrix.MustNew(2*n, 2*n)
+	r := matrix.Scratch(2*n, 2*n)
+	defer func() { r.Release() }()
 	for u := 0; u < n; u++ {
 		r.Set(n+u, n+u, 1)
 		var absorb float64
@@ -54,12 +55,18 @@ func IterativeShortcutTransition(g *graph.Graph, sub *Subset, squarings int) (*m
 		}
 		r.Set(u, n+u, absorb)
 	}
-	for i := 0; i < squarings; i++ {
-		next, err := r.Mul(r)
-		if err != nil {
-			return nil, err
+	// Repeated squaring ping-pongs between two pooled buffers: every
+	// intermediate power is transient, so the loop runs allocation-free.
+	if squarings > 0 {
+		tmp := matrix.Scratch(2*n, 2*n)
+		for i := 0; i < squarings; i++ {
+			if err := matrix.MulInto(tmp, r, r); err != nil {
+				tmp.Release()
+				return nil, err
+			}
+			r, tmp = tmp, r
 		}
-		r = next
+		tmp.Release()
 	}
 	q := matrix.MustNew(n, n)
 	for u := 0; u < n; u++ {

@@ -24,6 +24,7 @@ func Transition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s0.Release()
 	k := sub.Size()
 	if k == 1 {
 		return nil, fmt.Errorf("schur: transition matrix of a single-vertex subset is empty")
@@ -46,7 +47,8 @@ func Transition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 }
 
 // withReturns computes S0[u,v]: the probability that the first vertex of S
-// visited at time >= 1 by a walk from u in S is v (v = u allowed).
+// visited at time >= 1 by a walk from u in S is v (v = u allowed). The
+// returned matrix is drawn from the scratch pool; the caller releases it.
 func withReturns(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 	if sub.N() != g.N() {
 		return nil, fmt.Errorf("schur: subset universe %d does not match graph size %d", sub.N(), g.N())
@@ -69,9 +71,10 @@ func withReturns(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer f.Release()
 	}
 
-	s0 := matrix.MustNew(k, k)
+	s0 := matrix.Scratch(k, k)
 	for i, u := range sv {
 		row := s0.Row(i)
 		for j, v := range sv {
@@ -94,36 +97,32 @@ func withReturns(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 }
 
 // firstHit solves the absorbing-chain system: F = (I - T)^{-1} B where
-// T = P[comp, comp] and B = P[comp, sv].
+// T = P[comp, comp] and B = P[comp, sv]. The returned matrix is drawn from
+// the scratch pool; the caller releases it. Every intermediate lives in the
+// pool too, so repeated phase builds run allocation-lean.
 func firstHit(p *matrix.Matrix, comp, sv []int) (*matrix.Matrix, error) {
-	t, err := p.Submatrix(comp, comp)
+	b, err := p.SubmatrixScratch(comp, sv)
 	if err != nil {
 		return nil, err
 	}
-	b, err := p.Submatrix(comp, sv)
-	if err != nil {
-		return nil, err
-	}
-	c := len(comp)
-	system := matrix.Identity(c)
-	for i := 0; i < c; i++ {
-		for j := 0; j < c; j++ {
-			system.Set(i, j, system.At(i, j)-t.At(i, j))
-		}
-	}
-	lu, err := matrix.Factor(system)
+	defer b.Release()
+	lu, err := factorAbsorbing(p, comp)
 	if err != nil {
 		return nil, fmt.Errorf("schur: absorbing chain system singular (is S reachable from all of V\\S?): %w", err)
 	}
+	defer lu.Release()
+	c := len(comp)
 	k := len(sv)
-	f := matrix.MustNew(c, k)
-	col := make([]float64, c)
+	f := matrix.Scratch(c, k)
+	col := matrix.Scratch(1, c)
+	defer col.Release()
+	x := col.Row(0)
 	for j := 0; j < k; j++ {
 		for i := 0; i < c; i++ {
-			col[i] = b.At(i, j)
+			x[i] = b.At(i, j)
 		}
-		x, err := lu.Solve(col)
-		if err != nil {
+		if err := lu.SolveInto(x, x); err != nil {
+			f.Release()
 			return nil, err
 		}
 		for i := 0; i < c; i++ {
@@ -131,6 +130,25 @@ func firstHit(p *matrix.Matrix, comp, sv []int) (*matrix.Matrix, error) {
 		}
 	}
 	return f, nil
+}
+
+// factorAbsorbing builds and factors the absorbing-chain system I - P[comp,
+// comp] with scratch-pooled storage. The caller releases the returned LU.
+func factorAbsorbing(p *matrix.Matrix, comp []int) (*matrix.LU, error) {
+	t, err := p.SubmatrixScratch(comp, comp)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Release()
+	c := len(comp)
+	for i := 0; i < c; i++ {
+		row := t.Row(i)
+		for j := range row {
+			row[j] = -row[j]
+		}
+		row[i] += 1
+	}
+	return matrix.FactorScratch(t)
 }
 
 // ComplementGraph builds the weighted graph H = Schur(G, S) of Definition 1
@@ -250,37 +268,33 @@ func ShortcutTransition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 	// G[u][w] = expected visits to w in S̄ before first S-entry
 	//         = [P restricted to S̄-columns] * (I - T)^{-1}.
 	// Then Q[u][x] += G[u][x] * absorb[x].
-	t, err := p.Submatrix(comp, comp)
-	if err != nil {
-		return nil, err
-	}
-	c := len(comp)
-	system := matrix.Identity(c)
-	for i := 0; i < c; i++ {
-		for j := 0; j < c; j++ {
-			system.Set(i, j, system.At(i, j)-t.At(i, j))
-		}
-	}
 	// visits = (I - T^T)^{-1} applied per start row: solve transposed
 	// systems so we can reuse one factorization: G = Pcomp * Inv, i.e.
 	// G^T = Inv^T * Pcomp^T, column by column.
-	lu, err := matrix.Factor(system.Transpose())
+	c := len(comp)
+	system := matrix.Scratch(c, c)
+	for i := 0; i < c; i++ {
+		row := system.Row(i)
+		for j := range row {
+			row[j] = -p.At(comp[j], comp[i]) // (I - T)^T = I - T^T
+		}
+		row[i] += 1
+	}
+	lu, err := matrix.FactorScratch(system)
+	system.Release()
 	if err != nil {
 		return nil, fmt.Errorf("schur: shortcut system singular: %w", err)
 	}
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	pcomp, err := p.Submatrix(all, comp)
-	if err != nil {
-		return nil, err
-	}
-	rhs := make([]float64, c)
+	defer lu.Release()
+	rhs := matrix.Scratch(1, c)
+	defer rhs.Release()
+	gu := rhs.Row(0)
 	for u := 0; u < n; u++ {
-		copy(rhs, pcomp.Row(u))
-		gu, err := lu.Solve(rhs)
-		if err != nil {
+		pu := p.Row(u)
+		for wi, w := range comp {
+			gu[wi] = pu[w]
+		}
+		if err := lu.SolveInto(gu, gu); err != nil {
 			return nil, err
 		}
 		for wi, w := range comp {

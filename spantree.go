@@ -192,6 +192,24 @@ func WithMatching(name string) Option {
 	}
 }
 
+// WithPhaseCacheMB bounds the later-phase state cache each prepared graph
+// keeps for the phase and exact samplers: a memo of (Schur transition,
+// shortcut matrix, dyadic power table) triples keyed by phase subset, so
+// repeated batches, Las Vegas extensions, and coinciding walk prefixes skip
+// the per-phase matrix squarings. 0 keeps the default
+// (core.DefaultPhaseCacheMB); negative disables the cache. Outputs and
+// simulated-cost Stats are identical either way — cache hits replay the cold
+// path's round charges — so this knob only trades memory for throughput.
+func WithPhaseCacheMB(mb int) Option {
+	return func(o *options) error {
+		if mb == 0 {
+			mb = core.DefaultPhaseCacheMB
+		}
+		o.cfg.PhaseCacheMB = mb
+		return nil
+	}
+}
+
 // WithPrecision enables the Lemma 7 fixed-point discipline: every matrix
 // power is truncated down to multiples of delta.
 func WithPrecision(delta float64) Option {
@@ -381,12 +399,13 @@ func TreeWeight(g *Graph, t *Tree) (float64, error) {
 
 // Engine is the concurrent sampling engine: a registry of graphs with
 // cached per-graph precomputation (the phase-0 power table a cold Sample
-// rebuilds on every call) plus a worker pool executing streaming jobs with
+// rebuilds on every call, plus a bounded later-phase state cache shared by
+// all of a graph's sessions) and a worker pool executing streaming jobs with
 // deterministic per-sample seed derivation. Construct with NewEngine,
-// Register graphs, then Open a Session per graph and Stream/Collect batches
-// on it; see internal/engine for the full method set (Register,
-// RegisterFamily, Open, Audit, TreeCount, Metrics, ...). cmd/spantreed
-// serves this engine over HTTP.
+// Register graphs, then Open a Session per graph and Stream/Collect/Audit
+// batches on it; see internal/engine for the full method set (Register,
+// RegisterFamily, Open, TreeCount, Metrics, ...). cmd/spantreed serves this
+// engine over HTTP.
 type Engine = engine.Engine
 
 // Sampler names a tree-sampling algorithm an Engine batch can run.
@@ -402,14 +421,7 @@ const (
 	SamplerMST          = engine.SamplerMST
 )
 
-// BatchRequest describes one engine batch job.
-//
-// Deprecated: use Engine.Open + StreamRequest (typed SamplerSpec dispatch,
-// streaming consumption, per-sampler knobs). Kept as a shim for one release.
-type BatchRequest = engine.BatchRequest
-
-// BatchResult is a completed engine batch, as returned by Session.Collect
-// and the deprecated Engine.SampleBatch.
+// BatchResult is a completed engine batch, as returned by Session.Collect.
 type BatchResult = engine.BatchResult
 
 // BatchSummary aggregates a batch's per-sample statistics.
