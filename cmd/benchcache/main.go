@@ -1,26 +1,34 @@
-// Command benchcache measures what the later-phase state cache and the
-// allocation-lean matrix kernels buy on the engine's batch hot path, and
-// writes the numbers to a JSON file (BENCH_phasecache.json at the repo root
-// is the committed snapshot) so the repository carries a perf trajectory
-// across PRs.
+// Command benchcache measures the engine's batch hot path and writes the
+// numbers to a JSON file so the repository carries a perf trajectory across
+// PRs. It has two modes:
 //
-// For each instance size it runs the same 64-tree phase-sampler batch two
-// ways on a warm engine (phase-0 precomputation cached in both):
+// -mode cache (default; BENCH_phasecache.json is the committed snapshot)
+// compares the later-phase state cache's warm and cold arms. For each
+// instance size it runs the same phase-sampler batch two ways on a warm
+// engine (phase-0 precomputation cached in both):
 //
 //   - cold: the later-phase cache bypassed — every sample rebuilds its
 //     Schur complements, shortcut matrices, and dyadic power tables;
 //   - warm: the cache enabled and populated by one identical priming batch,
 //     so the timed batches replay later-phase state from memory.
 //
-// The two arms draw byte-identical trees (verified on every run; the
-// harness fails otherwise), so the throughput and allocs/op deltas isolate
-// exactly the work the cache removes. This is the serving shape the cache
-// targets: repeated identical batches (idempotent retries, replays,
-// audit-after-sample) and shared phase prefixes.
+// -mode protocol (BENCH_protocol.json is the committed snapshot) measures
+// what the charged simulator fast path buys ON TOP of a fully warm cache:
+// both arms replay later-phase state from memory, and differ only in how
+// the congested clique protocol executes — "full" materializes every
+// message (allocating clique.Message structs, packing word slices, sorting
+// inboxes), "charged" runs the machines' logic locally with rounds charged
+// analytically from the communication pattern.
+//
+// In both modes the two arms draw byte-identical trees (verified on every
+// run, per-sample Stats included in protocol mode; the harness fails
+// otherwise), so the throughput and allocs/op deltas isolate exactly the
+// work removed.
 //
 // Usage:
 //
-//	go run ./cmd/benchcache                      # full sweep: n = 32, 96, 192
+//	go run ./cmd/benchcache                      # cache sweep: n = 32, 96, 192
+//	go run ./cmd/benchcache -mode protocol       # charged-vs-full sweep
 //	go run ./cmd/benchcache -quick               # tiny CI smoke: n = 16, 24
 //	go run ./cmd/benchcache -n 64,128 -k 32 -out bench.json
 package main
@@ -31,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
@@ -69,19 +78,34 @@ type sizeResult struct {
 	CacheBytes       int64     `json:"cache_bytes"`
 }
 
+// protoSizeResult is one instance size of the -mode protocol sweep: warm
+// full-fidelity vs warm charged batches.
+type protoSizeResult struct {
+	N                int       `json:"n"`
+	K                int       `json:"k"`
+	CacheMB          int       `json:"cache_mb"`
+	Full             armResult `json:"full"`
+	Charged          armResult `json:"charged"`
+	Speedup          float64   `json:"speedup"`
+	AllocReduction   float64   `json:"alloc_reduction"`
+	IdenticalOutputs bool      `json:"identical_outputs"`
+}
+
 type report struct {
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Sampler    string       `json:"sampler"`
-	Note       string       `json:"note"`
-	Results    []sizeResult `json:"results"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Sampler    string            `json:"sampler"`
+	Note       string            `json:"note"`
+	Results    []sizeResult      `json:"results,omitempty"`
+	Protocol   []protoSizeResult `json:"protocol_results,omitempty"`
 }
 
 func run() error {
 	var (
 		sizes   = flag.String("n", "32,96,192", "comma-separated instance sizes")
 		k       = flag.Int("k", 0, "batch size (0: 64 up to n=96, 16 above)")
-		out     = flag.String("out", "BENCH_phasecache.json", "output JSON path")
+		mode    = flag.String("mode", "cache", "what to measure: cache (warm vs cold later-phase cache) or protocol (charged vs full sim fidelity, both warm)")
+		out     = flag.String("out", "", "output JSON path (default: BENCH_phasecache.json or BENCH_protocol.json per mode)")
 		quick   = flag.Bool("quick", false, "tiny smoke sweep for CI (n=16,24, k=8)")
 		cacheMB = flag.Int("cache-mb", 0, "warm-arm cache budget (0: sized to the batch working set)")
 	)
@@ -92,13 +116,30 @@ func run() error {
 			*k = 8
 		}
 	}
+	if *out == "" {
+		switch *mode {
+		case "protocol":
+			*out = "BENCH_protocol.json"
+		default:
+			*out = "BENCH_phasecache.json"
+		}
+	}
 
 	rep := report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Sampler:    string(spantree.SamplerPhase),
-		Note: "cold = later-phase cache bypassed (phase-0 still warm); warm = identical batch replayed " +
-			"against a populated cache; both arms draw byte-identical trees",
+	}
+	switch *mode {
+	case "cache":
+		rep.Note = "cold = later-phase cache bypassed (phase-0 still warm); warm = identical batch replayed " +
+			"against a populated cache; both arms draw byte-identical trees"
+	case "protocol":
+		rep.Note = "both arms fully warm (phase-0 + later-phase cache populated); full = every protocol message " +
+			"materialized through the simulator, charged = supersteps run locally with analytically charged " +
+			"rounds; arms draw byte-identical trees with identical per-sample Stats"
+	default:
+		return fmt.Errorf("unknown -mode %q (want cache or protocol)", *mode)
 	}
 	for _, field := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(field))
@@ -111,6 +152,17 @@ func run() error {
 			if n > 96 {
 				batch = 16 // n^2-sized entries: keep the working set in check
 			}
+		}
+		if *mode == "protocol" {
+			res, err := measureProtocol(n, batch, *cacheMB)
+			if err != nil {
+				return fmt.Errorf("n=%d: %w", n, err)
+			}
+			rep.Protocol = append(rep.Protocol, res)
+			fmt.Printf("n=%-4d k=%-3d full %8.1f ms/tree  charged %8.1f ms/tree  speedup %.2fx  allocs %.0f -> %.0f /tree\n",
+				n, batch, res.Full.NsPerTree/1e6, res.Charged.NsPerTree/1e6, res.Speedup,
+				res.Full.AllocsPerTree, res.Charged.AllocsPerTree)
+			continue
 		}
 		res, err := measure(n, batch, *cacheMB)
 		if err != nil {
@@ -134,19 +186,39 @@ func run() error {
 	return nil
 }
 
+// workingSetMB upper-bounds a k-sample batch's later-phase working set at
+// instance size n: every sample contributes ~sqrt(n) phases, each at most
+// (maxExp+2)*n^2 floats; real entries shrink with the phase subsets, so this
+// comfortably over-provisions. Both bench modes size their warm cache with
+// it unless -cache-mb overrides.
+func workingSetMB(n, k int) int {
+	maxExp := 16
+	perEntry := (maxExp + 2) * n * n * 8
+	phases := 2
+	for phases*phases < n {
+		phases++
+	}
+	return k*(phases+2)*perEntry>>20 + 64
+}
+
+// treesIdentical reports whether two collected batches drew the same tree at
+// every index.
+func treesIdentical(a, b *spantree.BatchResult) bool {
+	if len(a.Trees) != len(b.Trees) {
+		return false
+	}
+	for i := range a.Trees {
+		if a.Trees[i].Encode() != b.Trees[i].Encode() {
+			return false
+		}
+	}
+	return true
+}
+
 // measure runs the two arms at one instance size and folds the results.
 func measure(n, k, cacheMB int) (sizeResult, error) {
 	if cacheMB <= 0 {
-		// Upper-bound the working set: every sample contributes ~sqrt(n)
-		// phases, each at most (maxExp+2)*n^2 floats; real entries shrink
-		// with the phase subsets, so this comfortably over-provisions.
-		maxExp := 16
-		perEntry := (maxExp + 2) * n * n * 8
-		phases := 2
-		for phases*phases < n {
-			phases++
-		}
-		cacheMB = k*(phases+2)*perEntry>>20 + 64
+		cacheMB = workingSetMB(n, k)
 	}
 	g, err := spantree.Expander(n, 3)
 	if err != nil {
@@ -176,10 +248,7 @@ func measure(n, k, cacheMB int) (sizeResult, error) {
 	if err != nil {
 		return sizeResult{}, err
 	}
-	identical := len(coldRes.Trees) == len(warmRes.Trees)
-	for i := 0; identical && i < len(coldRes.Trees); i++ {
-		identical = coldRes.Trees[i].Encode() == warmRes.Trees[i].Encode()
-	}
+	identical := treesIdentical(coldRes, warmRes)
 	if !identical {
 		return sizeResult{}, fmt.Errorf("cached batch is not byte-identical to uncached batch")
 	}
@@ -198,6 +267,55 @@ func measure(n, k, cacheMB int) (sizeResult, error) {
 	pc := warmSess.Engine().Metrics().PhaseCache
 	res.CacheHits, res.CacheMisses = pc.Hits, pc.Misses
 	res.CacheEntries, res.CacheBytes = pc.Entries, pc.Bytes
+	return res, nil
+}
+
+// measureProtocol runs the charged-vs-full arms at one instance size, both
+// against the same warm session (shared later-phase cache), and folds the
+// results. The byte-identical contract covers trees AND per-sample Stats —
+// the charged plans must charge exactly what the full path routes.
+func measureProtocol(n, k, cacheMB int) (protoSizeResult, error) {
+	if cacheMB <= 0 {
+		cacheMB = workingSetMB(n, k)
+	}
+	g, err := spantree.Expander(n, 3)
+	if err != nil {
+		return protoSizeResult{}, err
+	}
+	sess, err := newSession(g, spantree.WithPhaseCacheMB(cacheMB))
+	if err != nil {
+		return protoSizeResult{}, err
+	}
+	fullSpec := spantree.PhaseSpec()
+	fullSpec.SimFidelity = "full"
+	fullReq := spantree.StreamRequest{K: k, Spec: fullSpec, SeedBase: 1}
+	chargedReq := spantree.StreamRequest{K: k, Spec: spantree.PhaseSpec(), SeedBase: 1}
+
+	// Prime the shared cache and verify the byte-identical contract.
+	fullRes, err := sess.Collect(context.Background(), fullReq)
+	if err != nil {
+		return protoSizeResult{}, err
+	}
+	chargedRes, err := sess.Collect(context.Background(), chargedReq)
+	if err != nil {
+		return protoSizeResult{}, err
+	}
+	identical := treesIdentical(fullRes, chargedRes) && reflect.DeepEqual(fullRes.Stats, chargedRes.Stats)
+	if !identical {
+		return protoSizeResult{}, fmt.Errorf("charged batch is not byte-identical to full-fidelity batch")
+	}
+
+	full := timeArm(sess, fullReq)
+	charged := timeArm(sess, chargedReq)
+	res := protoSizeResult{
+		N: n, K: k, CacheMB: cacheMB,
+		Full: full, Charged: charged,
+		Speedup:          full.NsPerTree / charged.NsPerTree,
+		IdenticalOutputs: identical,
+	}
+	if full.AllocsPerTree > 0 {
+		res.AllocReduction = 1 - charged.AllocsPerTree/full.AllocsPerTree
+	}
 	return res, nil
 }
 

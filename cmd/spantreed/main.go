@@ -11,8 +11,12 @@
 // shortcut, and power-table triples keyed by phase subset; hits skip the
 // per-phase matrix squarings with round charges replayed, so responses are
 // byte-identical either way). 0 keeps the default, negative disables.
-// Cache hit/miss/eviction counters and the matrix scratch-pool counters are
-// reported under /v1/stats.
+// -phase-cache-total-mb instead bounds ONE cache shared by every registered
+// graph (the serving-grade aggregate budget; overrides -phase-cache-mb).
+// Cache hit/miss/eviction counters, aggregate resident bytes, and the matrix
+// scratch-pool counters are reported under /v1/stats. Stream requests may
+// set "sim_fidelity": "full" to audit the charged simulator fast path —
+// responses are byte-identical to the default charged mode.
 //
 // Endpoints:
 //
@@ -60,13 +64,14 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
-		cacheMB = flag.Int("phase-cache-mb", 0, "per-graph later-phase state cache budget in MB (0: default, negative: disabled)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
+		cacheMB      = flag.Int("phase-cache-mb", 0, "per-graph later-phase state cache budget in MB (0: default, negative: disabled)")
+		cacheTotalMB = flag.Int("phase-cache-total-mb", 0, "global later-phase cache budget in MB shared across all graphs (0: per-graph budgets)")
 	)
 	flag.Parse()
 
-	eng, err := spantree.NewEngine(*workers, spantree.WithPhaseCacheMB(*cacheMB))
+	eng, err := spantree.NewEngine(*workers, spantree.WithPhaseCacheMB(*cacheMB), spantree.WithPhaseCacheTotalMB(*cacheTotalMB))
 	if err != nil {
 		return err
 	}
@@ -388,6 +393,7 @@ type streamRequest struct {
 	MaxSteps      int    `json:"max_steps,omitempty"`
 	Root          int    `json:"root,omitempty"`
 	NoPhaseCache  bool   `json:"no_phase_cache,omitempty"`
+	SimFidelity   string `json:"sim_fidelity,omitempty"`
 	SeedBase      uint64 `json:"seed_base"`
 	Workers       int    `json:"workers,omitempty"`
 }
@@ -401,6 +407,7 @@ func (r streamRequest) stream() spantree.StreamRequest {
 			MaxSteps:      r.MaxSteps,
 			Root:          r.Root,
 			NoPhaseCache:  r.NoPhaseCache,
+			SimFidelity:   r.SimFidelity,
 		},
 		SeedBase: r.SeedBase,
 		Workers:  r.Workers,

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -320,5 +321,58 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if stats.Requests < 2 {
 		t.Errorf("request counter: %+v", stats)
+	}
+}
+
+// TestStreamSimFidelityAudit runs the same phase batch in the default
+// charged mode and the "full" audit mode over the wire and requires
+// byte-identical result lines (trees and per-sample stats), plus a 400 for
+// an unknown mode.
+func TestStreamSimFidelityAudit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	registerFamily(t, ts, "f", "expander", 16)
+
+	collect := func(body map[string]any) []string {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/graphs/f/stream", body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		lines := make([]string, 4)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var line struct {
+				Index  *int   `json:"index"`
+				Tree   string `json:"tree"`
+				Rounds int    `json:"rounds"`
+				Error  string `json:"error"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			if line.Error != "" {
+				t.Fatalf("stream error: %s", line.Error)
+			}
+			if line.Index != nil {
+				lines[*line.Index] = fmt.Sprintf("%s@%d", line.Tree, line.Rounds)
+			}
+		}
+		return lines
+	}
+
+	charged := collect(map[string]any{"k": 4, "sampler": "phase", "seed_base": 3})
+	full := collect(map[string]any{"k": 4, "sampler": "phase", "seed_base": 3, "sim_fidelity": "full"})
+	for i := range charged {
+		if charged[i] == "" || charged[i] != full[i] {
+			t.Errorf("index %d: charged %q != full %q", i, charged[i], full[i])
+		}
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/graphs/f/stream",
+		map[string]any{"k": 1, "sampler": "phase", "seed_base": 3, "sim_fidelity": "warp"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown sim_fidelity: status %d, want 400", resp.StatusCode)
 	}
 }

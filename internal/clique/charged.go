@@ -1,0 +1,237 @@
+package clique
+
+import "fmt"
+
+// Fidelity selects how an algorithm's supersteps execute on the simulator.
+//
+// The paper charges rounds via Lenzen's routing theorem from the
+// communication pattern alone — the cost of a superstep is a function of the
+// per-machine word loads, not of the message payloads. Whenever a protocol
+// step's pattern is known analytically and all machine state lives in one
+// address space anyway, the step can therefore run as plain local
+// computation with its communication charged from the declared pattern
+// (ChargedSuperstep) instead of materializing Message structs, packing word
+// slices, and sorting inboxes. Both modes are maintained side by side:
+// charged is the serving default, full is the audit mode that proves the
+// charged plans honest — outputs and accounting are byte-identical between
+// them by construction, which golden tests pin.
+type Fidelity string
+
+const (
+	// FidelityCharged runs ported supersteps as local computation over flat
+	// buffers with analytically charged rounds/words — no Message allocation,
+	// no inbox sort, no goroutine fan-out. The default ("" resolves here).
+	FidelityCharged Fidelity = "charged"
+	// FidelityFull materializes every message through the simulator — the
+	// original execution mode, kept for audits of the charged plans.
+	FidelityFull Fidelity = "full"
+)
+
+// Charged reports whether this fidelity takes the charged fast path
+// (the empty value defaults to charged).
+func (f Fidelity) Charged() bool { return f == "" || f == FidelityCharged }
+
+// Valid reports whether f is one of "", "charged", "full".
+func (f Fidelity) Valid() bool {
+	return f == "" || f == FidelityCharged || f == FidelityFull
+}
+
+// CostPlan declares the communication pattern of one charged superstep: the
+// multiset of messages the full-fidelity implementation would send, recorded
+// as per-machine word and message loads. ChargedSuperstep charges rounds
+// from it exactly as Superstep charges them from materialized traffic, so a
+// plan that mirrors the full path message-for-message yields byte-identical
+// Stats and traces (MaxRecvMsg included).
+//
+// A plan is single-use state for one superstep; Reset recycles it across
+// consecutive supersteps of the same protocol to avoid reallocation.
+type CostPlan struct {
+	n        int
+	send     []int
+	recv     []int
+	recvMsgs []int
+	total    int64
+	err      error
+}
+
+// NewCostPlan returns an empty plan for an n-machine clique.
+func NewCostPlan(n int) *CostPlan {
+	return &CostPlan{
+		n:        n,
+		send:     make([]int, n),
+		recv:     make([]int, n),
+		recvMsgs: make([]int, n),
+	}
+}
+
+// Reset clears the plan for reuse in a subsequent superstep.
+func (p *CostPlan) Reset() {
+	for i := range p.send {
+		p.send[i] = 0
+		p.recv[i] = 0
+		p.recvMsgs[i] = 0
+	}
+	p.total = 0
+	p.err = nil
+}
+
+// Add records one message of `words` words from machine `from` to machine
+// `to`. Out-of-range machines poison the plan; ChargedSuperstep surfaces the
+// error, mirroring Superstep's invalid-destination check.
+func (p *CostPlan) Add(from, to, words int) {
+	p.AddN(from, to, words, 1)
+}
+
+// AddN records msgs identical messages of wordsPer words each from `from`
+// to `to`.
+func (p *CostPlan) AddN(from, to, wordsPer, msgs int) {
+	if p.err != nil {
+		return
+	}
+	if from < 0 || from >= p.n {
+		p.err = fmt.Errorf("clique: plan message from invalid machine %d", from)
+		return
+	}
+	if to < 0 || to >= p.n {
+		p.err = fmt.Errorf("clique: plan message to invalid machine %d", to)
+		return
+	}
+	if wordsPer < 0 || msgs < 0 {
+		p.err = fmt.Errorf("clique: negative plan charge (%d words x %d msgs)", wordsPer, msgs)
+		return
+	}
+	w := wordsPer * msgs
+	p.send[from] += w
+	p.recv[to] += w
+	p.recvMsgs[to] += msgs
+	p.total += int64(w)
+}
+
+// Scatter records the leader-scatters pattern: one wordsPer-word message
+// from `from` to every machine in `to`.
+func (p *CostPlan) Scatter(from int, to []int, wordsPer int) {
+	for _, t := range to {
+		p.Add(from, t, wordsPer)
+	}
+}
+
+// Gather records the leader-gathers pattern: one wordsPer-word message from
+// every machine in `from` to `to`.
+func (p *CostPlan) Gather(from []int, to int, wordsPer int) {
+	for _, f := range from {
+		p.Add(f, to, wordsPer)
+	}
+}
+
+// AllToAll records the balanced pairwise-exchange pattern of machines
+// 0..d-1: every participant sends one wordsPer-word message to every
+// participant (itself included) — the Algorithm 1 step 3 column
+// redistribution shape. O(d) bookkeeping for the d² messages.
+func (p *CostPlan) AllToAll(d, wordsPer int) {
+	if p.err != nil {
+		return
+	}
+	if d < 0 || d > p.n {
+		p.err = fmt.Errorf("clique: all-to-all over %d machines on an %d-clique", d, p.n)
+		return
+	}
+	if wordsPer < 0 {
+		p.err = fmt.Errorf("clique: negative plan charge (%d words)", wordsPer)
+		return
+	}
+	for id := 0; id < d; id++ {
+		p.send[id] += wordsPer * d
+		p.recv[id] += wordsPer * d
+		p.recvMsgs[id] += d
+	}
+	p.total += int64(wordsPer) * int64(d) * int64(d)
+}
+
+// ChargedSuperstep runs one bulk-synchronous step in charged mode: the
+// machines' combined logic executes as plain sequential computation (local;
+// nil for steps whose work was folded into a neighboring step) and the
+// communication is charged analytically from plan — rounds from the maximum
+// per-machine load exactly as Superstep computes it, word and superstep
+// counters advanced identically, inboxes cleared just as a full superstep
+// would leave them for a protocol that consumes every message it routes. A
+// nil plan declares a computation-only superstep (zero traffic, 1 round).
+//
+// With a plan that mirrors the full-fidelity implementation's messages
+// one-for-one, a charged run reports the same Rounds, Supersteps,
+// TotalWords, and per-step trace (MaxSend/MaxRecv/TotalWords/MaxRecvMsg) as
+// the full run — the property core's fidelity golden tests pin.
+func (s *Sim) ChargedSuperstep(name string, plan *CostPlan, local func() error) error {
+	// local runs before the plan is read, so a step may declare its pattern
+	// while computing (the binary-search tally does: which vertices appear
+	// in a prefix is what both the messages and the result depend on).
+	if local != nil {
+		if err := local(); err != nil {
+			s.clearInboxes()
+			return fmt.Errorf("clique: superstep %q: %w", name, err)
+		}
+	}
+	if plan != nil {
+		if plan.err != nil {
+			s.clearInboxes()
+			return fmt.Errorf("clique: superstep %q: %w", name, plan.err)
+		}
+		if plan.n != s.n {
+			s.clearInboxes()
+			return fmt.Errorf("clique: superstep %q plan sized for %d machines, clique has %d", name, plan.n, s.n)
+		}
+	}
+	maxSend, maxRecv, maxRecvMsg := 0, 0, 0
+	var total int64
+	if plan != nil {
+		for id := 0; id < s.n; id++ {
+			if plan.send[id] > maxSend {
+				maxSend = plan.send[id]
+			}
+			if plan.recv[id] > maxRecv {
+				maxRecv = plan.recv[id]
+			}
+			if plan.recvMsgs[id] > maxRecvMsg {
+				maxRecvMsg = plan.recvMsgs[id]
+			}
+		}
+		total = plan.total
+	}
+	maxLoad := maxSend
+	if maxRecv > maxLoad {
+		maxLoad = maxRecv
+	}
+	rounds := roundsFor(maxLoad, s.n)
+	s.clearInboxes()
+	s.rounds += rounds
+	s.supersteps++
+	s.totalWords += total
+	if s.traceStats {
+		s.stats = append(s.stats, StepStat{
+			Name:       name,
+			Rounds:     rounds,
+			MaxSend:    maxSend,
+			MaxRecv:    maxRecv,
+			TotalWords: int(total),
+			MaxRecvMsg: maxRecvMsg,
+		})
+	}
+	return nil
+}
+
+// ChargeBroadcast charges exactly what Broadcast charges for a w-word
+// broadcast — 2·ceil(w/n) rounds, w·n words, the same trace entry — without
+// delivering messages, for charged-mode protocols whose next superstep reads
+// the broadcast payload from shared memory instead of its inbox.
+func (s *Sim) ChargeBroadcast(w int) error {
+	if w < 0 {
+		return fmt.Errorf("clique: negative broadcast size %d", w)
+	}
+	rounds := broadcastRounds(w, s.n)
+	s.rounds += rounds
+	s.supersteps++
+	s.totalWords += int64(w * s.n)
+	if s.traceStats {
+		s.stats = append(s.stats, StepStat{Name: "broadcast", Rounds: rounds, MaxSend: w * s.n, MaxRecv: w, TotalWords: w * s.n})
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package clique
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chargedProgram runs the same three-superstep protocol (leader scatter,
+// skewed gather, all-to-all) in full fidelity via Superstep and returns the
+// simulator; the charged twin below declares the identical pattern through
+// CostPlans. The two must agree on every counter and trace field.
+func fullProgram(t *testing.T, n int) *Sim {
+	t.Helper()
+	s := MustNew(n)
+	s.EnableTrace()
+	// Leader scatters 3 words to every machine.
+	err := s.Superstep("scatter", func(id int, in []Message) ([]Message, error) {
+		if id != 0 {
+			return nil, nil
+		}
+		msgs := make([]Message, 0, n)
+		for to := 0; to < n; to++ {
+			msgs = append(msgs, Message{To: to, Words: []Word{1, 2, 3}})
+		}
+		return msgs, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skewed gather: machine i sends i+1 words to the leader — machine n-1's
+	// n words push the leader's receive load to n(n+1)/2 > n, charging
+	// multiple rounds.
+	err = s.Superstep("gather", func(id int, in []Message) ([]Message, error) {
+		words := make([]Word, id+1)
+		return []Message{{To: 0, Words: words}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced all-to-all of 2 words per ordered pair.
+	err = s.Superstep("alltoall", func(id int, in []Message) ([]Message, error) {
+		msgs := make([]Message, 0, n)
+		for to := 0; to < n; to++ {
+			msgs = append(msgs, Message{To: to, Words: []Word{7, 8}})
+		}
+		return msgs, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func chargedProgram(t *testing.T, n int) *Sim {
+	t.Helper()
+	s := MustNew(n)
+	s.EnableTrace()
+	plan := NewCostPlan(n)
+	dests := make([]int, n)
+	for i := range dests {
+		dests[i] = i
+	}
+	plan.Scatter(0, dests, 3)
+	if err := s.ChargedSuperstep("scatter", plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	plan.Reset()
+	for id := 0; id < n; id++ {
+		plan.Add(id, 0, id+1)
+	}
+	if err := s.ChargedSuperstep("gather", plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	plan.Reset()
+	plan.AllToAll(n, 2)
+	if err := s.ChargedSuperstep("alltoall", plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestChargedMatchesFullStats runs the same communication pattern through
+// the full message-materializing path and the charged analytic path — the
+// full arm on both the sequential and the goroutine execution modes (run
+// with -race to verify the latter) — and requires every counter and every
+// per-superstep trace field, MaxRecvMsg included, to agree.
+func TestChargedMatchesFullStats(t *testing.T) {
+	const n = 16
+	charged := chargedProgram(t, n)
+	for _, parallel := range []bool{false, true} {
+		prev := forceParallel
+		forceParallel = parallel
+		full := fullProgram(t, n)
+		forceParallel = prev
+
+		if full.Rounds() != charged.Rounds() {
+			t.Errorf("parallel=%v: rounds %d (full) vs %d (charged)", parallel, full.Rounds(), charged.Rounds())
+		}
+		if full.Supersteps() != charged.Supersteps() {
+			t.Errorf("parallel=%v: supersteps %d vs %d", parallel, full.Supersteps(), charged.Supersteps())
+		}
+		if full.TotalWords() != charged.TotalWords() {
+			t.Errorf("parallel=%v: total words %d vs %d", parallel, full.TotalWords(), charged.TotalWords())
+		}
+		if !reflect.DeepEqual(full.Stats(), charged.Stats()) {
+			t.Errorf("parallel=%v: traces differ:\nfull    %+v\ncharged %+v", parallel, full.Stats(), charged.Stats())
+		}
+	}
+}
+
+// TestChargedStepStatRegression pins the exact StepStat fields of one known
+// pattern — the skewed gather on a 16-clique, where machine 15's 16-word
+// message and the leader's 136-word inbox are the loads Lenzen's accounting
+// turns into ceil(136/16) = 9 rounds.
+func TestChargedStepStatRegression(t *testing.T) {
+	const n = 16
+	s := MustNew(n)
+	s.EnableTrace()
+	plan := NewCostPlan(n)
+	for id := 0; id < n; id++ {
+		plan.Add(id, 0, id+1)
+	}
+	if err := s.ChargedSuperstep("gather", plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st) != 1 {
+		t.Fatalf("got %d trace entries, want 1", len(st))
+	}
+	want := StepStat{
+		Name:       "gather",
+		Rounds:     9,   // ceil(136/16)
+		MaxSend:    16,  // machine 15
+		MaxRecv:    136, // leader: 1+2+...+16
+		TotalWords: 136,
+		MaxRecvMsg: 16, // one message per machine, all to the leader
+	}
+	if st[0] != want {
+		t.Errorf("StepStat = %+v, want %+v", st[0], want)
+	}
+	if s.Rounds() != 9 || s.Supersteps() != 1 || s.TotalWords() != 136 {
+		t.Errorf("counters = (%d rounds, %d steps, %d words), want (9, 1, 136)",
+			s.Rounds(), s.Supersteps(), s.TotalWords())
+	}
+}
+
+// TestChargeBroadcastMatchesBroadcast requires the charge-only broadcast to
+// report exactly what a delivered Broadcast reports.
+func TestChargeBroadcastMatchesBroadcast(t *testing.T) {
+	for _, w := range []int{1, 8, 40} { // below, at, and above one round's worth
+		full := MustNew(8)
+		full.EnableTrace()
+		words := make([]Word, w)
+		if err := full.Broadcast(0, 0, words); err != nil {
+			t.Fatal(err)
+		}
+		charged := MustNew(8)
+		charged.EnableTrace()
+		if err := charged.ChargeBroadcast(w); err != nil {
+			t.Fatal(err)
+		}
+		if full.Rounds() != charged.Rounds() || full.TotalWords() != charged.TotalWords() || full.Supersteps() != charged.Supersteps() {
+			t.Errorf("w=%d: counters differ: full (%d,%d,%d) vs charged (%d,%d,%d)", w,
+				full.Rounds(), full.Supersteps(), full.TotalWords(),
+				charged.Rounds(), charged.Supersteps(), charged.TotalWords())
+		}
+		if !reflect.DeepEqual(full.Stats(), charged.Stats()) {
+			t.Errorf("w=%d: traces differ: %+v vs %+v", w, full.Stats(), charged.Stats())
+		}
+	}
+}
+
+// TestCostPlanValidation checks that invalid plans surface as superstep
+// errors, mirroring Superstep's invalid-destination handling.
+func TestCostPlanValidation(t *testing.T) {
+	s := MustNew(4)
+	plan := NewCostPlan(4)
+	plan.Add(0, 7, 1)
+	err := s.ChargedSuperstep("bad", plan, nil)
+	if err == nil || !strings.Contains(err.Error(), "invalid machine") {
+		t.Errorf("invalid destination: got %v", err)
+	}
+	wrong := NewCostPlan(5)
+	if err := s.ChargedSuperstep("size", wrong, nil); err == nil {
+		t.Error("mis-sized plan accepted")
+	}
+	if err := s.ChargedSuperstep("negative-bcast", nil, nil); err != nil {
+		t.Errorf("nil plan should be a computation-only step: %v", err)
+	}
+	if err := s.ChargeBroadcast(-1); err == nil {
+		t.Error("negative broadcast accepted")
+	}
+}
+
+// TestChargedFidelityValues pins the Fidelity helpers.
+func TestChargedFidelityValues(t *testing.T) {
+	if !Fidelity("").Charged() || !FidelityCharged.Charged() || FidelityFull.Charged() {
+		t.Error("Charged() resolution wrong")
+	}
+	if !Fidelity("").Valid() || !FidelityCharged.Valid() || !FidelityFull.Valid() || Fidelity("turbo").Valid() {
+		t.Error("Valid() resolution wrong")
+	}
+}

@@ -46,6 +46,26 @@ const parallelThreshold = 32
 // it to exercise the concurrent execution mode on single-core hosts.
 var forceParallel = false
 
+// roundsFor is the Lenzen-routing charge shared by every superstep variant:
+// a pattern whose maximum per-machine send/receive load is maxLoad words
+// costs ceil(maxLoad/n) rounds, minimum 1. Full and charged execution both
+// charge through it, so the two modes cannot drift.
+func roundsFor(maxLoad, n int) int {
+	if maxLoad > n {
+		return (maxLoad + n - 1) / n
+	}
+	return 1
+}
+
+// broadcastRounds is the two-phase broadcast charge shared by Broadcast and
+// ChargeBroadcast: 2*ceil(w/n) rounds for w words.
+func broadcastRounds(w, n int) int {
+	if w > n {
+		return 2 * ((w + n - 1) / n)
+	}
+	return 2
+}
+
 // Word is one O(log n)-bit message word: a vertex id, a count, or a
 // fixed-point probability.
 type Word uint64
@@ -172,10 +192,7 @@ func (s *Sim) ChargeSuperstep(name string, maxLoad int, totalWords int64) error 
 	if maxLoad < 0 || totalWords < 0 {
 		return fmt.Errorf("clique: negative superstep charge (%d load, %d words)", maxLoad, totalWords)
 	}
-	rounds := 1
-	if maxLoad > s.n {
-		rounds = (maxLoad + s.n - 1) / s.n
-	}
+	rounds := roundsFor(maxLoad, s.n)
 	s.clearInboxes()
 	s.rounds += rounds
 	s.supersteps++
@@ -271,10 +288,7 @@ func (s *Sim) Superstep(name string, fn StepFunc) error {
 	if maxRecv > maxLoad {
 		maxLoad = maxRecv
 	}
-	rounds := 1
-	if maxLoad > s.n {
-		rounds = (maxLoad + s.n - 1) / s.n
-	}
+	rounds := roundsFor(maxLoad, s.n)
 
 	// Deterministic inbox order regardless of goroutine scheduling.
 	for id := 0; id < s.n; id++ {
@@ -344,10 +358,7 @@ func (s *Sim) Broadcast(from, tag int, words []Word) error {
 		return fmt.Errorf("clique: broadcast from invalid machine %d", from)
 	}
 	w := len(words)
-	rounds := 2
-	if w > s.n {
-		rounds = 2 * ((w + s.n - 1) / s.n)
-	}
+	rounds := broadcastRounds(w, s.n)
 	msg := Message{From: from, Tag: tag, Words: words}
 	for id := 0; id < s.n; id++ {
 		m := msg

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/clique"
 	"repro/internal/matching"
 	"repro/internal/mm"
 )
@@ -89,6 +90,17 @@ type Config struct {
 	// each extension succeeds with constant probability, so 64 failures
 	// indicate a bug, not bad luck).
 	MaxExtensions int
+	// SimFidelity selects the simulator execution mode of the protocol's
+	// supersteps. FidelityCharged (the "" default) runs the ported hot
+	// supersteps — pair assignment, midpoint distribution, the binary-search
+	// count protocol, submatrix fetch, first-visit edge recovery, column
+	// redistribution — as plain local computation over the shared state with
+	// rounds and words charged analytically from the declared communication
+	// pattern (clique.ChargedSuperstep). FidelityFull materializes every
+	// message through the simulator, the original audit mode. Trees and
+	// Stats are byte-identical across modes (golden-tested); only wall-clock
+	// and allocation behavior differ.
+	SimFidelity clique.Fidelity
 	// PhaseCacheMB bounds the later-phase state cache a Prepared builds: the
 	// memo of (Schur transition, shortcut matrix, dyadic power table) triples
 	// keyed by phase subset, shared by every Sample the Prepared serves
@@ -163,6 +175,9 @@ func (c Config) withDefaults(n int) (Config, error) {
 	}
 	if c.MaxExtensions == 0 {
 		c.MaxExtensions = 64
+	}
+	if !c.SimFidelity.Valid() {
+		return c, fmt.Errorf("core: unknown sim fidelity %q (want %q or %q)", c.SimFidelity, clique.FidelityCharged, clique.FidelityFull)
 	}
 	if c.PhaseCacheMB == 0 {
 		c.PhaseCacheMB = DefaultPhaseCacheMB

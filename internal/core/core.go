@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/clique"
 	"repro/internal/graph"
@@ -167,8 +168,7 @@ func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, ca
 // entered v. It returns the sampled edges and the newly visited global
 // vertices in first-visit order.
 func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, error) {
-	type visit struct{ prev, v int } // global ids
-	var visits []visit
+	var visits []fvVisit
 	seen := map[int]struct{}{walkLocal[0]: {}}
 	for i := 1; i < len(walkLocal); i++ {
 		lv := walkLocal[i]
@@ -176,11 +176,42 @@ func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, err
 			continue
 		}
 		seen[lv] = struct{}{}
-		visits = append(visits, visit{prev: r.hostOf(walkLocal[i-1]), v: r.hostOf(lv)})
+		visits = append(visits, fvVisit{prev: r.hostOf(walkLocal[i-1]), v: r.hostOf(lv)})
 	}
 	if len(visits) == 0 {
 		return nil, nil, nil
 	}
+	var edgeOf map[int]int
+	var err error
+	if r.charged {
+		edgeOf, err = r.firstVisitEdgesCharged(visits)
+	} else {
+		edgeOf, err = r.firstVisitEdgesFull(visits)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	edges := make([]graph.Edge, 0, len(visits))
+	order := make([]int, 0, len(visits))
+	for _, vis := range visits {
+		u, ok := edgeOf[vis.v]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: no entry edge reported for vertex %d", vis.v)
+		}
+		edges = append(edges, graph.Edge{U: min(u, vis.v), V: max(u, vis.v), Weight: 1})
+		order = append(order, vis.v)
+	}
+	return edges, order, nil
+}
+
+// fvVisit is one first visit of the phase walk: the visited vertex and its
+// Schur-walk predecessor, in global ids.
+type fvVisit struct{ prev, v int }
+
+// firstVisitEdgesFull runs the Algorithm 4 protocol with full message
+// dataflow, returning each visited vertex's sampled entry neighbor.
+func (r *phaseRunner) firstVisitEdgesFull(visits []fvVisit) (map[int]int, error) {
 	leader := r.leader
 
 	// Superstep 1: leader tells each newly visited vertex its predecessor
@@ -200,7 +231,7 @@ func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, err
 		return msgs, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Superstep 2: each notified vertex asks its G-neighbors for the Bayes
 	// weight (Algorithm 4 steps 5-6).
@@ -222,7 +253,7 @@ func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, err
 		return msgs, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Superstep 3: neighbor u answers with Q[prev, u] * w(u,v)/degS(u).
 	err = r.sim.Superstep("core/fve/reply", func(id int, in []clique.Message) ([]clique.Message, error) {
@@ -255,7 +286,7 @@ func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, err
 		return msgs, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Superstep 4: each vertex samples its entry edge and reports it to the
 	// leader (Algorithm 4 step 7).
@@ -283,7 +314,7 @@ func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, err
 		}}, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Superstep 5: leader absorbs the edges.
 	edgeOf := make(map[int]int, len(visits)) // v -> sampled entry neighbor
@@ -299,18 +330,125 @@ func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, err
 		return nil, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	return edgeOf, nil
+}
+
+// firstVisitEdgesCharged is the charged-mode port of the Algorithm 4
+// protocol: the same five supersteps with identical per-message charges —
+// one notify word per visit, a 2-word request and reply per (visit,
+// neighbor) edge, a 2-word report per visit — with the Bayes weights read
+// straight from the shared shortcut matrix. Each visited vertex's entry
+// distribution lists its neighbors in ascending id order, exactly the
+// sorted-inbox order the full path samples from, and draws from the same
+// per-machine rng stream, so the sampled edges are byte-identical.
+func (r *phaseRunner) firstVisitEdgesCharged(visits []fvVisit) (map[int]int, error) {
+	leader := r.leader
+	plan := clique.NewCostPlan(r.sim.N())
+
+	// Superstep 1 (core/fve/notify): leader tells each newly visited vertex
+	// its predecessor.
+	for _, vis := range visits {
+		plan.Add(leader, vis.v, 1)
+	}
+	if err := r.sim.ChargedSuperstep("core/fve/notify", plan, nil); err != nil {
+		return nil, err
 	}
 
-	edges := make([]graph.Edge, 0, len(visits))
-	order := make([]int, 0, len(visits))
+	// Superstep 2 (core/fve/request): each visited vertex asks its
+	// G-neighbors for the Bayes weight.
+	plan.Reset()
 	for _, vis := range visits {
-		u, ok := edgeOf[vis.v]
-		if !ok {
-			return nil, nil, fmt.Errorf("core: no entry edge reported for vertex %d", vis.v)
-		}
-		edges = append(edges, graph.Edge{U: min(u, vis.v), V: max(u, vis.v), Weight: 1})
-		order = append(order, vis.v)
+		v := vis.v
+		r.g.VisitNeighbors(v, func(h graph.Half) {
+			plan.Add(v, h.To, 2)
+		})
 	}
-	return edges, order, nil
+	if err := r.sim.ChargedSuperstep("core/fve/request", plan, nil); err != nil {
+		return nil, err
+	}
+
+	// Superstep 3 (core/fve/reply): neighbor u answers with
+	// Q[prev, u] * w(u,v)/degS(u); entries are kept per visit in ascending
+	// neighbor order (the full path's sorted-inbox order). degS is computed
+	// once per responding neighbor, as each machine does for itself.
+	type entry struct {
+		u int
+		w float64
+	}
+	entries := make([][]entry, len(visits))
+	degS := make(map[int]float64)
+	plan.Reset()
+	err := r.sim.ChargedSuperstep("core/fve/reply", plan, func() error {
+		for vi, vis := range visits {
+			v := vis.v
+			nbrs := make([]entry, 0, r.g.NeighborCount(v))
+			var stepErr error
+			r.g.VisitNeighbors(v, func(h graph.Half) {
+				if stepErr != nil {
+					return
+				}
+				u := h.To
+				d, ok := degS[u]
+				if !ok {
+					r.g.VisitNeighbors(u, func(hh graph.Half) {
+						if r.sub.Contains(hh.To) {
+							d += hh.Weight
+						}
+					})
+					degS[u] = d
+				}
+				if d <= 0 {
+					stepErr = fmt.Errorf("machine %d adjacent to S-vertex %d has degS=0", u, v)
+					return
+				}
+				plan.Add(u, v, 2)
+				nbrs = append(nbrs, entry{u: u, w: r.q.At(vis.prev, u) * h.Weight / d})
+			})
+			if stepErr != nil {
+				return stepErr
+			}
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].u < nbrs[j].u })
+			entries[vi] = nbrs
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Superstep 4 (core/fve/sample): each visited vertex samples its entry
+	// edge and reports it to the leader (2 words per visit).
+	plan.Reset()
+	froms := make([]int, len(visits))
+	for i, vis := range visits {
+		froms[i] = vis.v
+	}
+	plan.Gather(froms, leader, 2)
+	edgeOf := make(map[int]int, len(visits))
+	err = r.sim.ChargedSuperstep("core/fve/sample", plan, func() error {
+		for vi, vis := range visits {
+			es := entries[vi]
+			weights := make([]float64, len(es))
+			for i, e := range es {
+				weights[i] = e.w
+			}
+			choice, err := r.rngs[vis.v].WeightedIndex(weights)
+			if err != nil {
+				return fmt.Errorf("vertex %d has no mass on any entry edge: %w", vis.v, err)
+			}
+			edgeOf[vis.v] = es[choice].u
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Superstep 5 (core/fve/absorb): leader absorbs — computation only.
+	if err := r.sim.ChargedSuperstep("core/fve/absorb", nil, nil); err != nil {
+		return nil, err
+	}
+	return edgeOf, nil
 }

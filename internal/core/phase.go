@@ -50,12 +50,13 @@ type phaseRunner struct {
 	g   *graph.Graph
 	cfg Config
 
-	sub    *schur.Subset
-	pd     *matrix.PowerDyadic
-	q      *matrix.Matrix // shortcut transitions, global indices
-	leader int            // global machine id of leader (hosts start vertex)
-	start  int            // local index of phase start vertex
-	rho    int            // distinct-vertex budget this phase
+	sub     *schur.Subset
+	pd      *matrix.PowerDyadic
+	q       *matrix.Matrix // shortcut transitions, global indices
+	leader  int            // global machine id of leader (hosts start vertex)
+	start   int            // local index of phase start vertex
+	rho     int            // distinct-vertex budget this phase
+	charged bool           // SimFidelity: charged supersteps vs full message dataflow
 	// preSeen holds local indices already visited by earlier Las Vegas
 	// segments of the same phase; they count toward the rho budget but a
 	// reappearance is never a "first occurrence" (appendix §5.1).
@@ -78,6 +79,12 @@ type phaseRunner struct {
 	slotPair []pairKey
 	slotOcc  []int // occurrence index (1-based) of the slot within its pair
 	pairRank map[pairKey]int
+	// Leader-local assignment bookkeeping for the current level, in the
+	// first-appearance order the leader designates pair machines: the
+	// charged path replays the assignment from it instead of routing the
+	// tagAssign messages.
+	pairOrder  []pairKey
+	pairCounts map[pairKey]int
 
 	// Leader-local result of the most recent count collection.
 	bsCounts map[int]int // local midpoint vertex -> count in prefix
@@ -121,7 +128,11 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 		}
 	case fastBackend && cache != nil:
 		members := sub.Vertices()
-		if ent, ok := cache.Get(members); ok {
+		var scope uint64
+		if warm != nil { // cache is only ever passed alongside its Prepared
+			scope = warm.cacheScope
+		}
+		if ent, ok := cache.Get(scope, members); ok {
 			q = ent.Shortcut
 			pd = ent.Powers
 			if err := replayPhaseCharges(sim, cfg, g.N(), maxExp, phaseIdx, pd); err != nil {
@@ -132,7 +143,7 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 			if err != nil {
 				return nil, err
 			}
-			cache.Put(&phasecache.Entry{Members: members, Shortcut: q, Powers: pd})
+			cache.Put(&phasecache.Entry{Scope: scope, Members: members, Shortcut: q, Powers: pd})
 		}
 	default:
 		q, pd, err = buildPhaseState(sim, g, cfg, sub, phaseIdx, maxExp)
@@ -158,6 +169,7 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 		leader:  startGlobal,
 		start:   startLocal,
 		rho:     rho,
+		charged: cfg.SimFidelity.Charged(),
 		preSeen: preSeen,
 		rngs:    make([]*prng.Source, g.N()),
 		stats:   stats,
@@ -207,7 +219,7 @@ func buildPhaseState(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Sub
 			return nil, nil, err
 		}
 	}
-	pd, err = mm.DyadicTable(sim, cfg.Backend, smat, maxExp, cfg.TruncDelta)
+	pd, err = mm.DyadicTable(sim, cfg.Backend, smat, maxExp, cfg.TruncDelta, cfg.SimFidelity)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: dyadic power table: %w", err)
 	}
@@ -323,9 +335,17 @@ func (r *phaseRunner) assignPairs() error {
 	for rank, key := range order {
 		r.pairRank[key] = rank % r.sim.N()
 	}
+	r.pairOrder, r.pairCounts = order, counts
 
 	r.pairs = make([][]*pairState, r.sim.N())
 	leader := r.leader
+	if r.charged {
+		plan := clique.NewCostPlan(r.sim.N())
+		for rank := range order {
+			plan.Add(leader, rank%r.sim.N(), 3)
+		}
+		return r.sim.ChargedSuperstep("core/assign", plan, nil)
+	}
 	return r.sim.Superstep("core/assign", func(id int, in []clique.Message) ([]clique.Message, error) {
 		if id != leader {
 			return nil, nil
@@ -360,6 +380,9 @@ func (r *phaseRunner) findPair(id, p, q int) *pairState {
 // acquires its midpoint distribution from the vertex machines and samples
 // its sequence Π_{p,q}.
 func (r *phaseRunner) generateMidpoints() error {
+	if r.charged {
+		return r.generateMidpointsCharged()
+	}
 	size := r.sub.Size()
 	// Superstep 1: pair machines store their assignments and broadcast the
 	// distribution requests to every vertex machine of the subset.
@@ -451,6 +474,85 @@ func (r *phaseRunner) generateMidpoints() error {
 	})
 }
 
+// generateMidpointsCharged is the charged-mode port of generateMidpoints:
+// the same three supersteps (distribution request, reply, local sampling)
+// with identical per-message charges, but the distributions are assembled
+// directly from the shared power table instead of routed word-by-word. Pair
+// state is created in the leader's assignment order — exactly the arrival
+// order the full path sees, since inboxes deliver one sender's messages in
+// emission order — and each machine's sampling consumes its rng stream in
+// the same per-machine order as the full path, so trees are byte-identical.
+func (r *phaseRunner) generateMidpointsCharged() error {
+	size := r.sub.Size()
+	n := r.sim.N()
+	plan := clique.NewCostPlan(n)
+	// Superstep 1 (core/distreq): pair machines store their assignments and
+	// broadcast distribution requests (3 words) to every subset vertex
+	// machine.
+	for _, key := range r.pairOrder {
+		from := r.pairRank[key]
+		for j := 0; j < size; j++ {
+			plan.Add(from, r.hostOf(j), 3)
+		}
+	}
+	err := r.sim.ChargedSuperstep("core/distreq", plan, func() error {
+		for _, key := range r.pairOrder {
+			r.pairs[r.pairRank[key]] = append(r.pairs[r.pairRank[key]], &pairState{
+				key:     key,
+				count:   r.pairCounts[key],
+				weights: make([]float64, size),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Superstep 2 (core/distreply): vertex machine j answers each request
+	// with the unnormalized midpoint probability (4 words).
+	half, err := r.pd.Power(int(r.spacing / 2))
+	if err != nil {
+		return err
+	}
+	plan.Reset()
+	for _, key := range r.pairOrder {
+		to := r.pairRank[key]
+		for j := 0; j < size; j++ {
+			plan.Add(r.hostOf(j), to, 4)
+		}
+	}
+	err = r.sim.ChargedSuperstep("core/distreply", plan, func() error {
+		for id := 0; id < n; id++ {
+			for _, ps := range r.pairs[id] {
+				for j := 0; j < size; j++ {
+					ps.weights[j] = half.At(ps.key.p, j) * half.At(j, ps.key.q)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Superstep 3 (core/generate): pair machines sample their sequences
+	// locally — no traffic in either mode.
+	return r.sim.ChargedSuperstep("core/generate", nil, func() error {
+		for id := 0; id < n; id++ {
+			for _, ps := range r.pairs[id] {
+				alias, err := prng.NewAlias(ps.weights)
+				if err != nil {
+					return fmt.Errorf("pair (%d,%d) at gap %d has empty midpoint distribution: %w", ps.key.p, ps.key.q, r.spacing, err)
+				}
+				ps.seq = make([]int, ps.count)
+				for i := range ps.seq {
+					ps.seq[i] = alias.Sample(r.rngs[id])
+				}
+			}
+		}
+		return nil
+	})
+}
+
 // slotsInPrefix returns the number of midpoint slots with grid index
 // <= ellPrime: floor((ellPrime+1)/2).
 func slotsInPrefix(ellPrime int64) int { return int((ellPrime + 1) / 2) }
@@ -460,6 +562,9 @@ func slotsInPrefix(ellPrime int64) int { return int((ellPrime + 1) / 2) }
 // the prefix, by vertex) and r.bsMf (the midpoint value at the last slot of
 // the prefix, or -1 when the prefix has no midpoint slots).
 func (r *phaseRunner) collectCounts(ellPrime int64) error {
+	if r.charged {
+		return r.collectCountsCharged(ellPrime)
+	}
 	sPrefix := slotsInPrefix(ellPrime)
 	// Leader-local: per-pair prefix counts and the mf slot's owner.
 	prefixCount := make(map[pairKey]int, len(r.pairRank))
@@ -591,6 +696,104 @@ func (r *phaseRunner) collectCounts(ellPrime int64) error {
 			}
 		}
 		return nil, nil
+	})
+}
+
+// collectCountsCharged is the charged-mode port of collectCounts: the same
+// four supersteps (count scatter, tally, report, absorb) with identical
+// per-message charges, but the per-vertex counts flow into the leader's maps
+// directly instead of being routed as tagged words. The tally step declares
+// its pattern while computing — one 2-word message per (pair, distinct
+// prefix vertex), exactly the compressed multiset the full path ships.
+func (r *phaseRunner) collectCountsCharged(ellPrime int64) error {
+	sPrefix := slotsInPrefix(ellPrime)
+	prefixCount := make(map[pairKey]int, len(r.pairRank))
+	for j := 1; j <= sPrefix; j++ {
+		prefixCount[r.slotPair[j]]++
+	}
+	mfPair := pairKey{-1, -1}
+	mfOcc := -1
+	if sPrefix >= 1 {
+		mfPair = r.slotPair[sPrefix]
+		mfOcc = r.slotOcc[sPrefix]
+	}
+	leader := r.leader
+	n := r.sim.N()
+
+	// Superstep A (core/bs/count): leader sends each pair machine its
+	// prefix count plus the mf occurrence query (4 words per pair).
+	plan := clique.NewCostPlan(n)
+	for _, machine := range r.pairRank {
+		plan.Add(leader, machine, 4)
+	}
+	err := r.sim.ChargedSuperstep("core/bs/count", plan, func() error {
+		r.bsCounts = make(map[int]int)
+		r.bsMf = -1
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Superstep B (core/bs/tally): pair machines tally their sequence
+	// prefixes toward the vertex machines; the mf owner answers the leader.
+	plan.Reset()
+	totals := make(map[int]int)
+	mfVal := -1
+	err = r.sim.ChargedSuperstep("core/bs/tally", plan, func() error {
+		for _, key := range r.pairOrder {
+			machine := r.pairRank[key]
+			ps := r.findPair(machine, key.p, key.q)
+			if ps == nil {
+				return fmt.Errorf("machine %d asked about unassigned pair (%d,%d)", machine, key.p, key.q)
+			}
+			c := prefixCount[key]
+			if c > len(ps.seq) {
+				return fmt.Errorf("pair machine %d asked for prefix %d of %d midpoints", machine, c, len(ps.seq))
+			}
+			local := make(map[int]int)
+			for _, v := range ps.seq[:c] {
+				local[v]++
+			}
+			for v, cnt := range local {
+				plan.Add(machine, r.hostOf(v), 2)
+				totals[v] += cnt
+			}
+			if key == mfPair && mfOcc >= 1 {
+				if mfOcc > len(ps.seq) {
+					return fmt.Errorf("pair machine %d mf query %d beyond %d midpoints", machine, mfOcc, len(ps.seq))
+				}
+				mfVal = ps.seq[mfOcc-1]
+				plan.Add(machine, leader, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Superstep C (core/bs/report): vertex machines report their aggregates
+	// to the leader (2 words per distinct vertex), which also stashes the mf
+	// answer now, exactly when the full path's leader reads it.
+	plan.Reset()
+	err = r.sim.ChargedSuperstep("core/bs/report", plan, func() error {
+		for v := range totals {
+			plan.Add(r.hostOf(v), leader, 2)
+		}
+		r.bsMf = mfVal
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Superstep D (core/bs/absorb): leader absorbs — computation only.
+	return r.sim.ChargedSuperstep("core/bs/absorb", nil, func() error {
+		for v, cnt := range totals {
+			r.bsCounts[v] = cnt
+		}
+		return nil
 	})
 }
 
@@ -833,6 +1036,9 @@ func (s *submat) at(a, b int) float64 {
 // fetchSubmatrix broadcasts the needed vertex set and collects the
 // corresponding block of P^(δ/2) at the leader.
 func (r *phaseRunner) fetchSubmatrix(need []int) (*submat, error) {
+	if r.charged {
+		return r.fetchSubmatrixCharged(need)
+	}
 	words := make([]clique.Word, len(need))
 	for i, v := range need {
 		words[i] = clique.IntWord(v)
@@ -902,6 +1108,42 @@ func (r *phaseRunner) fetchSubmatrix(need []int) (*submat, error) {
 		return nil, nil
 	})
 	if err != nil {
+		return nil, err
+	}
+	return &submat{idx: idx, data: data}, nil
+}
+
+// fetchSubmatrixCharged is the charged-mode port of fetchSubmatrix: the
+// broadcast of the needed set and the hosts' 3-word row replies are charged
+// from the pattern while the leader reads the block straight out of the
+// shared power table.
+func (r *phaseRunner) fetchSubmatrixCharged(need []int) (*submat, error) {
+	if err := r.sim.ChargeBroadcast(len(need)); err != nil {
+		return nil, err
+	}
+	half, err := r.pd.Power(int(r.spacing / 2))
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[int]int, len(need))
+	for i, v := range need {
+		idx[v] = i
+	}
+	data := matrix.MustNew(len(need), len(need))
+	plan := clique.NewCostPlan(r.sim.N())
+	err = r.sim.ChargedSuperstep("core/submatrix", plan, func() error {
+		for ai, a := range need {
+			plan.AddN(r.hostOf(a), r.leader, 3, len(need))
+			for bi, b := range need {
+				data.Set(ai, bi, half.At(a, b))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.sim.ChargedSuperstep("core/submatrix-absorb", nil, nil); err != nil {
 		return nil, err
 	}
 	return &submat{idx: idx, data: data}, nil

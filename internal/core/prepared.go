@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/clique"
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/mm"
@@ -46,13 +47,41 @@ type Prepared struct {
 	// safe mutable state, but its entries are immutable and populated only
 	// from cold-path output, so Prepared keeps its read-share-freely
 	// contract: cached and uncached sampling are byte-identical per seed,
-	// rounds included (hits replay the cold path's charges).
-	cache *phasecache.Cache
+	// rounds included (hits replay the cold path's charges). A Prepared
+	// either owns a private cache (Prepare, budgeted by Config.PhaseCacheMB)
+	// or borrows an externally owned one (PrepareWithCache, e.g. the
+	// engine's global budget shared across graphs), in which case cacheScope
+	// namespaces its entries.
+	cache      *phasecache.Cache
+	cacheScope uint64
 }
 
 // Prepare validates the graph and configuration once and precomputes the
 // phase-0 state shared by every subsequent Sample call on the pair.
 func Prepare(g *graph.Graph, cfg Config) (*Prepared, error) {
+	return prepare(g, cfg, nil, false, 0)
+}
+
+// PrepareWithCache is Prepare with an externally owned later-phase cache in
+// place of the private per-Prepared one Config.PhaseCacheMB would build —
+// the engine's global budget shared across every registered graph uses it.
+// scope namespaces this Prepared's entries inside the shared cache (two
+// Prepareds over different graphs or configs must use distinct scopes). A
+// nil cache disables later-phase caching for this Prepared.
+func PrepareWithCache(g *graph.Graph, cfg Config, cache *phasecache.Cache, scope uint64) (*Prepared, error) {
+	return prepare(g, cfg, cache, true, scope)
+}
+
+// PrepareExactWithCache is PrepareWithCache under SampleExact's
+// configuration overrides.
+func PrepareExactWithCache(g *graph.Graph, cfg Config, cache *phasecache.Cache, scope uint64) (*Prepared, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	return prepare(g, exactConfig(g.N(), cfg), cache, true, scope)
+}
+
+func prepare(g *graph.Graph, cfg Config, ext *phasecache.Cache, extOwned bool, scope uint64) (*Prepared, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
@@ -76,7 +105,9 @@ func Prepare(g *graph.Graph, cfg Config) (*Prepared, error) {
 		// O(n^3 log l) table build the warm path would never read.
 		return p, nil
 	}
-	if cfg.PhaseCacheMB > 0 {
+	if extOwned {
+		p.cache, p.cacheScope = ext, scope
+	} else if cfg.PhaseCacheMB > 0 {
 		p.cache = phasecache.New(int64(cfg.PhaseCacheMB) << 20)
 	}
 
@@ -115,6 +146,26 @@ func PrepareExact(g *graph.Graph, cfg Config) (*Prepared, error) {
 	return Prepare(g, exactConfig(g.N(), cfg))
 }
 
+// SampleOpts adjusts one Prepared draw without touching the prepared state.
+type SampleOpts struct {
+	// NoPhaseCache bypasses the later-phase cache for this draw (neither
+	// read nor populated); the phase-0 precomputation is still reused.
+	NoPhaseCache bool
+	// Fidelity overrides the prepared Config's SimFidelity for this draw
+	// ("" keeps the configured mode). Trees and Stats are byte-identical
+	// across fidelities; the knob exists for per-request audits.
+	Fidelity clique.Fidelity
+}
+
+// SampleWith is Sample with per-draw options.
+func (p *Prepared) SampleWith(src *prng.Source, opts SampleOpts) (*spanning.Tree, *Stats, error) {
+	cache := p.cache
+	if opts.NoPhaseCache {
+		cache = nil
+	}
+	return p.sample(src, cache, opts.Fidelity)
+}
+
 // Graph returns the graph this state was prepared for.
 func (p *Prepared) Graph() *graph.Graph { return p.g }
 
@@ -128,7 +179,7 @@ func (p *Prepared) Config() Config { return p.cfg }
 // mm.ReplayDyadicTable and mm.ChargeSchurShortcutBuild), so Stats remains
 // identical to cold runs, hit or miss.
 func (p *Prepared) Sample(src *prng.Source) (*spanning.Tree, *Stats, error) {
-	return p.sample(src, p.cache)
+	return p.sample(src, p.cache, "")
 }
 
 // SampleUncached is Sample with the later-phase cache bypassed (neither read
@@ -137,18 +188,25 @@ func (p *Prepared) Sample(src *prng.Source) (*spanning.Tree, *Stats, error) {
 // and as a living proof of the cache's contract: its output and Stats are
 // byte-identical to Sample's for every seed.
 func (p *Prepared) SampleUncached(src *prng.Source) (*spanning.Tree, *Stats, error) {
-	return p.sample(src, nil)
+	return p.sample(src, nil, "")
 }
 
-func (p *Prepared) sample(src *prng.Source, cache *phasecache.Cache) (*spanning.Tree, *Stats, error) {
+func (p *Prepared) sample(src *prng.Source, cache *phasecache.Cache, fid clique.Fidelity) (*spanning.Tree, *Stats, error) {
 	if src == nil {
 		return nil, nil, fmt.Errorf("core: nil randomness source")
+	}
+	if !fid.Valid() {
+		return nil, nil, fmt.Errorf("core: unknown sim fidelity %q", fid)
 	}
 	if p.n == 1 {
 		tree, err := spanning.NewTree(1, nil)
 		return tree, &Stats{}, err
 	}
-	return sampleLoop(p.g, p.cfg, src, p, cache)
+	cfg := p.cfg
+	if fid != "" {
+		cfg.SimFidelity = fid
+	}
+	return sampleLoop(p.g, cfg, src, p, cache)
 }
 
 // CacheStats reports the later-phase cache's counters (the zero value when

@@ -6,6 +6,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/graph"
 	"repro/internal/prng"
+	"repro/internal/walk"
 )
 
 // Reproduction finding (documented in EXPERIMENTS.md): running the doubling
@@ -60,6 +61,9 @@ func (c ChainConfig) withDefaults(n int) ChainConfig {
 // machine, then leader-driven stitching.
 func ChainedWalk(sim *clique.Sim, g *graph.Graph, start, tau int, cfg ChainConfig, src *prng.Source) ([]int, error) {
 	n := g.N()
+	if !cfg.Doubling.Fidelity.Valid() {
+		return nil, fmt.Errorf("doubling: unknown sim fidelity %q (want %q or %q)", cfg.Doubling.Fidelity, clique.FidelityCharged, clique.FidelityFull)
+	}
 	if sim.N() != n {
 		return nil, fmt.Errorf("doubling: clique size %d does not match graph size %d", sim.N(), n)
 	}
@@ -93,9 +97,9 @@ func ChainedWalk(sim *clique.Sim, g *graph.Graph, start, tau int, cfg ChainConfi
 	for v := 0; v < n; v++ {
 		walks[v] = make([][]int, k)
 		for i := 0; i < k; i++ {
-			next, err := stepLocal(g, v, rngs[v])
+			next, err := walk.Step(g, v, rngs[v])
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("doubling: %w", err)
 			}
 			walks[v][i] = []int{v, next}
 		}
@@ -126,6 +130,30 @@ func ChainedWalk(sim *clique.Sim, g *graph.Graph, start, tau int, cfg ChainConfi
 	for hop := 0; hop < stop && len(trajectory) <= tau; hop++ {
 		var segment []int
 		idx := hop
+		if cfg.Doubling.Fidelity.Charged() {
+			// Charged stitch: the hop's segment moves to the leader as a
+			// shared slice, charged at its word length; the receive step is
+			// computation-only on both paths.
+			if idx >= len(walks[cur]) {
+				return nil, fmt.Errorf("machine %d exhausted its %d segments", cur, len(walks[cur]))
+			}
+			w := walks[cur][idx]
+			plan := clique.NewCostPlan(n)
+			plan.Add(cur, start, len(w))
+			if err := sim.ChargedSuperstep("doubling/stitch", plan, nil); err != nil {
+				return nil, err
+			}
+			if err := sim.ChargedSuperstep("doubling/stitch-recv", nil, nil); err != nil {
+				return nil, err
+			}
+			segment = w
+			if segment[0] != cur {
+				return nil, fmt.Errorf("doubling: stitch segment starts at %d, want %d", segment[0], cur)
+			}
+			trajectory = append(trajectory, segment[1:]...)
+			cur = trajectory[len(trajectory)-1]
+			continue
+		}
 		err := sim.Superstep("doubling/stitch", func(id int, in []clique.Message) ([]clique.Message, error) {
 			if id != cur {
 				return nil, nil
@@ -174,30 +202,4 @@ func ChainedWalk(sim *clique.Sim, g *graph.Graph, start, tau int, cfg ChainConfi
 		return nil, fmt.Errorf("doubling: chained walk has %d steps, want %d", len(trajectory)-1, tau)
 	}
 	return trajectory[:tau+1], nil
-}
-
-// stepLocal samples one walk step (identical to walk.Step; duplicated here
-// to keep the hot initialization loop allocation-free).
-func stepLocal(g *graph.Graph, u int, src *prng.Source) (int, error) {
-	deg := g.Degree(u)
-	if deg <= 0 {
-		return 0, fmt.Errorf("doubling: vertex %d is isolated", u)
-	}
-	r := src.Float64() * deg
-	acc := 0.0
-	next := -1
-	g.VisitNeighbors(u, func(h graph.Half) {
-		if next >= 0 {
-			return
-		}
-		acc += h.Weight
-		if r < acc {
-			next = h.To
-		}
-	})
-	if next < 0 {
-		nb := g.Neighbors(u)
-		next = nb[len(nb)-1].To
-	}
-	return next, nil
 }

@@ -45,6 +45,13 @@ type Config struct {
 	// C is the constant in the t = 8c·log n independence parameter and the
 	// Lemma 10 bound (default 1).
 	C int
+	// Fidelity selects the simulator execution mode: charged (the ""
+	// default) routes/merges/stores walks as local slice movement with the
+	// communication charged analytically per walk tuple, full materializes
+	// every encoded walk through the simulator. Walks, round charges, and
+	// traces (including the Lemma 10 MaxRecvMsg profile) are identical
+	// either way.
+	Fidelity clique.Fidelity
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +79,9 @@ type Result struct {
 // charges all communication on sim.
 func Walks(sim *clique.Sim, g *graph.Graph, tau int, cfg Config, src *prng.Source) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if !cfg.Fidelity.Valid() {
+		return nil, fmt.Errorf("doubling: unknown sim fidelity %q (want %q or %q)", cfg.Fidelity, clique.FidelityCharged, clique.FidelityFull)
+	}
 	n := g.N()
 	if sim.N() != n {
 		return nil, fmt.Errorf("doubling: clique size %d does not match graph size %d", sim.N(), n)
@@ -139,9 +149,15 @@ func Walks(sim *clique.Sim, g *graph.Graph, tau int, cfg Config, src *prng.Sourc
 func iterate(sim *clique.Sim, g *graph.Graph, walks [][][]int, rngs []*prng.Source, k, eta, t int, cfg Config, leaderRng *prng.Source) error {
 	n := g.N()
 	// Step 1: machine 1 samples and broadcasts the hash seed (O(log² n)
-	// bits = t words); every machine derives the same function.
+	// bits = t words); every machine derives the same function. In charged
+	// mode the broadcast is charged without delivery — the hash is derived
+	// from the shared seed either way.
 	seed := prng.SampleKWiseSeed(t, leaderRng)
-	if err := sim.Broadcast(0, tagSeed, seedToWords(seed)); err != nil {
+	if cfg.Fidelity.Charged() {
+		if err := sim.ChargeBroadcast(len(seed)); err != nil {
+			return err
+		}
+	} else if err := sim.Broadcast(0, tagSeed, seedToWords(seed)); err != nil {
 		return err
 	}
 	hash, err := prng.NewKWiseHash(t, k+1, n, seed)
@@ -154,6 +170,9 @@ func iterate(sim *clique.Sim, g *graph.Graph, walks [][][]int, rngs []*prng.Sour
 		}
 		// Unbalanced variant of [7]: pairs meet at the suffix origin.
 		return vertex
+	}
+	if cfg.Fidelity.Charged() {
+		return iterateCharged(sim, walks, route, n, k, eta)
 	}
 
 	// Steps 2-3: route prefixes (i <= k/2) by their endpoint and suffixes
@@ -241,6 +260,98 @@ func iterate(sim *clique.Sim, g *graph.Graph, walks [][][]int, rngs []*prng.Sour
 			}
 		}
 		return nil, nil
+	})
+}
+
+// routedWalk is a walk in flight between machines during a charged
+// iteration: the origin machine, the paper's 1-based walk index, and the
+// trajectory — what encodeWalk packs into words on the full path.
+type routedWalk struct {
+	origin, index int
+	w             []int
+}
+
+// iterateCharged is the charged-mode port of one doubling iteration: the
+// same route/merge/store supersteps with identical per-tuple charges
+// (len(walk)+2 words per routed walk, the encodeWalk framing), but walks
+// move between machines as shared slices instead of packed word messages.
+func iterateCharged(sim *clique.Sim, walks [][][]int, route func(vertex, index int) int, n, k, eta int) error {
+	// Steps 2-3: route prefixes by endpoint and suffixes by origin.
+	prefixes := make([][]routedWalk, n)
+	suffixes := make([][]routedWalk, n)
+	plan := clique.NewCostPlan(n)
+	err := sim.ChargedSuperstep("doubling/route", plan, func() error {
+		for id := 0; id < n; id++ {
+			for i := 0; i < k; i++ {
+				w := walks[id][i]
+				index1 := i + 1
+				if index1 <= k/2 {
+					to := route(w[len(w)-1], k-index1+1)
+					plan.Add(id, to, len(w)+2)
+					prefixes[to] = append(prefixes[to], routedWalk{origin: id, index: index1, w: w})
+				} else {
+					to := route(id, index1)
+					plan.Add(id, to, len(w)+2)
+					suffixes[to] = append(suffixes[to], routedWalk{origin: id, index: index1, w: w})
+				}
+			}
+			walks[id] = nil // all walks shipped out
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 4: merge prefix/suffix pairs where they met.
+	type key struct{ origin, index int }
+	mergedAt := make([][]routedWalk, n)
+	plan.Reset()
+	err = sim.ChargedSuperstep("doubling/merge", plan, func() error {
+		for m := 0; m < n; m++ {
+			sufs := make(map[key][]int, len(suffixes[m]))
+			for _, s := range suffixes[m] {
+				sufs[key{s.origin, s.index}] = s.w
+			}
+			for _, p := range prefixes[m] {
+				end := p.w[len(p.w)-1]
+				suffix, ok := sufs[key{end, k - p.index + 1}]
+				if !ok {
+					return fmt.Errorf("machine %d: no suffix W^%d_%d for prefix W^%d_%d", m, k-p.index+1, end, p.index, p.origin)
+				}
+				merged := make([]int, 0, len(p.w)+len(suffix)-1)
+				merged = append(merged, p.w...)
+				merged = append(merged, suffix[1:]...)
+				plan.Add(m, p.origin, len(merged)+2)
+				mergedAt[p.origin] = append(mergedAt[p.origin], routedWalk{origin: p.origin, index: p.index, w: merged})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 5: machines store their merged walks — computation only.
+	return sim.ChargedSuperstep("doubling/store", nil, func() error {
+		for id := 0; id < n; id++ {
+			walks[id] = make([][]int, k/2)
+			for _, m := range mergedAt[id] {
+				if m.index < 1 || m.index > k/2 {
+					return fmt.Errorf("machine %d received out-of-range walk index %d", id, m.index)
+				}
+				if len(m.w) != 2*eta+1 {
+					return fmt.Errorf("machine %d received %d-step walk, want %d", id, len(m.w)-1, 2*eta)
+				}
+				walks[id][m.index-1] = m.w
+			}
+			for i, w := range walks[id] {
+				if w == nil {
+					return fmt.Errorf("machine %d missing merged walk %d", id, i+1)
+				}
+			}
+		}
+		return nil
 	})
 }
 

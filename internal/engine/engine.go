@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/aldous"
+	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/doubling"
 	"repro/internal/graph"
@@ -76,6 +77,14 @@ type Options struct {
 	// Config is the sampler configuration used for the phase and exact
 	// samplers (zero value: the paper's defaults at each graph's size).
 	Config core.Config
+	// PhaseCacheTotalMB, when positive, replaces the per-graph later-phase
+	// caches (Config.PhaseCacheMB each) with ONE byte-budgeted cache shared
+	// by every graph and sampler variant the engine serves — the
+	// serving-grade budget: total resident phase state is bounded no matter
+	// how many graphs are registered, with the LRU arbitrating between them.
+	// Entries are scope-namespaced per (graph, sampler variant), so sharing
+	// the budget never shares state across graphs.
+	PhaseCacheTotalMB int
 }
 
 // Engine is a registry of graphs plus a worker pool for batch sampling.
@@ -84,6 +93,12 @@ type Engine struct {
 	reg     registry
 	workers int
 	cfg     core.Config
+
+	// sharedCache, when non-nil, is the engine-wide later-phase cache every
+	// prepared graph borrows (Options.PhaseCacheTotalMB); scopeSeq hands out
+	// the namespacing scopes.
+	sharedCache *phasecache.Cache
+	scopeSeq    atomic.Uint64
 
 	batches atomic.Int64
 	samples atomic.Int64
@@ -103,6 +118,9 @@ func New(opts Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{workers: w, cfg: opts.Config}
+	if opts.PhaseCacheTotalMB > 0 {
+		e.sharedCache = phasecache.New(int64(opts.PhaseCacheTotalMB) << 20)
+	}
 	e.reg.init()
 	return e
 }
@@ -128,7 +146,10 @@ type Metrics struct {
 	MatrixPool matrix.PoolStats `json:"matrix_pool"`
 }
 
-// Metrics returns a snapshot of the engine's counters.
+// Metrics returns a snapshot of the engine's counters. With a global phase
+// cache (Options.PhaseCacheTotalMB) the PhaseCache block reports the shared
+// cache once — its Bytes/CapacityBytes are the engine-wide aggregate;
+// otherwise it sums the per-graph caches.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
 		Graphs:     e.reg.size(),
@@ -137,6 +158,10 @@ func (e *Engine) Metrics() Metrics {
 		Streams:    e.streams.Load(),
 		Aborted:    e.aborted.Load(),
 		MatrixPool: matrix.ReadPoolStats(),
+	}
+	if e.sharedCache != nil {
+		m.PhaseCache = e.sharedCache.Stats()
+		return m
 	}
 	e.reg.each(func(ent *entry) {
 		m.PhaseCache = m.PhaseCache.Add(ent.cacheStats())
@@ -154,25 +179,35 @@ func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source) (*spa
 	}
 	switch spec.Name {
 	case SamplerPhase:
-		prep, err := ent.prepared(e.cfg)
+		prep, err := ent.prepared(e)
 		if err != nil {
 			return nil, nil, err
 		}
-		if spec.NoPhaseCache {
-			return prep.SampleUncached(src)
-		}
-		return prep.Sample(src)
+		return prep.SampleWith(src, core.SampleOpts{
+			NoPhaseCache: spec.NoPhaseCache,
+			Fidelity:     clique.Fidelity(spec.SimFidelity),
+		})
 	case SamplerExact:
-		prep, err := ent.preparedExact(e.cfg)
+		prep, err := ent.preparedExact(e)
 		if err != nil {
 			return nil, nil, err
 		}
-		if spec.NoPhaseCache {
-			return prep.SampleUncached(src)
-		}
-		return prep.Sample(src)
+		return prep.SampleWith(src, core.SampleOpts{
+			NoPhaseCache: spec.NoPhaseCache,
+			Fidelity:     clique.Fidelity(spec.SimFidelity),
+		})
 	case SamplerLowCover:
-		tree, st, err := doubling.SampleTree(ent.g, doubling.TreeConfig{SegmentLength: spec.SegmentLength}, src)
+		// Like phase/exact (whose Prepared keeps the engine Config when the
+		// per-request fidelity is empty), an unset spec falls back to the
+		// engine-level SimFidelity.
+		fid := clique.Fidelity(spec.SimFidelity)
+		if fid == "" {
+			fid = e.cfg.SimFidelity
+		}
+		tree, st, err := doubling.SampleTree(ent.g, doubling.TreeConfig{
+			SegmentLength: spec.SegmentLength,
+			Doubling:      doubling.Config{Fidelity: fid},
+		}, src)
 		if err != nil {
 			return nil, nil, err
 		}

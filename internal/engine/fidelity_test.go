@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestEngineFidelityGolden is the serving-level contract of the charged
+// simulator fast path: a collected batch with "sim_fidelity": "full" is
+// byte-identical — trees AND full per-sample Stats — to the default charged
+// batch, across the phase and exact samplers and at 1, 4, and GOMAXPROCS
+// workers.
+func TestEngineFidelityGolden(t *testing.T) {
+	e := New(Options{})
+	if err := e.RegisterFamily("g", "expander", 24, 7); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := e.Open("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, sampler := range []Sampler{SamplerPhase, SamplerExact, SamplerLowCover} {
+		var ref *BatchResult
+		for _, mode := range []string{"charged", "full", ""} {
+			for _, workers := range workerCounts {
+				res, err := sess.Collect(context.Background(), StreamRequest{
+					K:        6,
+					Spec:     SamplerSpec{Name: sampler, SimFidelity: mode},
+					SeedBase: 42,
+					Workers:  workers,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/%d workers: %v", sampler, mode, workers, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				for i := range res.Trees {
+					if res.Trees[i].Encode() != ref.Trees[i].Encode() {
+						t.Errorf("%s/%s/%d workers: tree %d differs", sampler, mode, workers, i)
+					}
+				}
+				if !reflect.DeepEqual(res.Stats, ref.Stats) {
+					t.Errorf("%s/%s/%d workers: stats differ", sampler, mode, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSimFidelitySpecValidation pins the spec rules: the knob belongs to the
+// clique samplers only, and unknown modes are rejected.
+func TestSimFidelitySpecValidation(t *testing.T) {
+	if err := (SamplerSpec{Name: SamplerPhase, SimFidelity: "full"}).Validate(); err != nil {
+		t.Errorf("full on phase rejected: %v", err)
+	}
+	if err := (SamplerSpec{Name: SamplerLowCover, SimFidelity: "charged"}).Validate(); err != nil {
+		t.Errorf("charged on doubling rejected: %v", err)
+	}
+	if err := (SamplerSpec{Name: SamplerWilson, SimFidelity: "full"}).Validate(); err == nil {
+		t.Error("sim_fidelity accepted on a sequential sampler")
+	}
+	if err := (SamplerSpec{Name: SamplerPhase, SimFidelity: "warp"}).Validate(); err == nil {
+		t.Error("unknown sim_fidelity accepted")
+	}
+}
+
+// TestEngineGlobalPhaseCacheBudget exercises the engine-wide cache: one
+// byte budget shared across every registered graph (and the exact variant's
+// scope), reported once in Metrics, with outputs identical to the per-graph
+// cache configuration.
+func TestEngineGlobalPhaseCacheBudget(t *testing.T) {
+	const totalMB = 96
+	shared := New(Options{PhaseCacheTotalMB: totalMB})
+	perGraph := New(Options{})
+	for _, e := range []*Engine{shared, perGraph} {
+		if err := e.RegisterFamily("a", "expander", 20, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RegisterFamily("b", "er", 18, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := StreamRequest{K: 4, Spec: SamplerSpec{Name: SamplerPhase}, SeedBase: 11}
+	collect := func(e *Engine, key string) *BatchResult {
+		t.Helper()
+		sess, err := e.Open(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Collect(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, key := range []string{"a", "b"} {
+		got := collect(shared, key)
+		want := collect(perGraph, key)
+		for i := range got.Trees {
+			if got.Trees[i].Encode() != want.Trees[i].Encode() {
+				t.Errorf("graph %q tree %d differs between shared and per-graph caches", key, i)
+			}
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Errorf("graph %q stats differ between shared and per-graph caches", key)
+		}
+	}
+	// Exact sampler on the same shared budget: its scope must not collide
+	// with the phase sampler's.
+	exactReq := StreamRequest{K: 2, Spec: SamplerSpec{Name: SamplerExact}, SeedBase: 11}
+	sess, err := shared.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Collect(context.Background(), exactReq); err != nil {
+		t.Fatal(err)
+	}
+
+	m := shared.Metrics().PhaseCache
+	if m.CapacityBytes != int64(totalMB)<<20 {
+		t.Errorf("shared capacity %d, want %d (one budget, not per graph)", m.CapacityBytes, int64(totalMB)<<20)
+	}
+	if m.Bytes > m.CapacityBytes {
+		t.Errorf("resident bytes %d exceed the global budget %d", m.Bytes, m.CapacityBytes)
+	}
+	if m.Misses == 0 {
+		t.Error("shared cache saw no traffic")
+	}
+
+	// A repeated identical batch on one graph replays from the shared cache.
+	before := shared.Metrics().PhaseCache.Hits
+	collect(shared, "a")
+	if after := shared.Metrics().PhaseCache.Hits; after <= before {
+		t.Errorf("repeat batch did not hit the shared cache (hits %d -> %d)", before, after)
+	}
+}
+
+// TestEngineGlobalBudgetEviction registers more working set than the budget
+// holds and checks the LRU arbitrates instead of growing without bound.
+func TestEngineGlobalBudgetEviction(t *testing.T) {
+	e := New(Options{PhaseCacheTotalMB: 1})
+	if err := e.RegisterFamily("a", "expander", 24, 3); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := e.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Collect(context.Background(), StreamRequest{K: 12, Spec: SamplerSpec{Name: SamplerPhase}, SeedBase: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics().PhaseCache
+	if m.Bytes > m.CapacityBytes {
+		t.Errorf("resident bytes %d exceed tiny budget %d", m.Bytes, m.CapacityBytes)
+	}
+	if m.Evictions == 0 && m.Rejected == 0 {
+		t.Error("over-budget working set evicted nothing")
+	}
+}
+
+// TestEngineFidelityUnknownGraphStillFirst keeps error precedence intact
+// with the new spec field present.
+func TestEngineFidelityUnknownGraphStillFirst(t *testing.T) {
+	e := New(Options{})
+	_, err := e.Open("missing")
+	if !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("want ErrUnknownGraph, got %v", err)
+	}
+}

@@ -38,10 +38,18 @@ type entry struct {
 }
 
 // prepared returns the entry's cached phase-sampler precomputation,
-// building it on first use.
-func (ent *entry) prepared(cfg core.Config) (*core.Prepared, error) {
+// building it on first use. With an engine-wide phase-cache budget the
+// Prepared borrows the shared cache under a fresh scope instead of building
+// a private one.
+func (ent *entry) prepared(e *Engine) (*core.Prepared, error) {
 	ent.phaseOnce.Do(func() {
-		p, err := core.Prepare(ent.g, cfg)
+		var p *core.Prepared
+		var err error
+		if e.sharedCache != nil {
+			p, err = core.PrepareWithCache(ent.g, e.cfg, e.sharedCache, e.scopeSeq.Add(1))
+		} else {
+			p, err = core.Prepare(ent.g, e.cfg)
+		}
 		ent.phaseErr = err
 		if err == nil {
 			ent.phase.Store(p)
@@ -51,10 +59,18 @@ func (ent *entry) prepared(cfg core.Config) (*core.Prepared, error) {
 }
 
 // preparedExact is prepared for the appendix's exact variant, which uses a
-// different distinct-vertex budget and therefore its own power table.
-func (ent *entry) preparedExact(cfg core.Config) (*core.Prepared, error) {
+// different distinct-vertex budget and therefore its own power table (and,
+// under a shared cache, its own scope — exact and phase entries never
+// alias).
+func (ent *entry) preparedExact(e *Engine) (*core.Prepared, error) {
 	ent.exactOnce.Do(func() {
-		p, err := core.PrepareExact(ent.g, cfg)
+		var p *core.Prepared
+		var err error
+		if e.sharedCache != nil {
+			p, err = core.PrepareExactWithCache(ent.g, e.cfg, e.sharedCache, e.scopeSeq.Add(1))
+		} else {
+			p, err = core.PrepareExact(ent.g, e.cfg)
+		}
 		ent.exactErr = err
 		if err == nil {
 			ent.exact.Store(p)

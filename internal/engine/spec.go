@@ -3,6 +3,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/clique"
 )
 
 // ErrUnknownSampler marks requests naming a sampler the engine does not
@@ -50,6 +52,15 @@ type SamplerSpec struct {
 	// debugging), not correctness. Only valid with SamplerPhase and
 	// SamplerExact, the samplers that have later-phase state.
 	NoPhaseCache bool `json:"no_phase_cache,omitempty"`
+	// SimFidelity selects the simulator execution mode for the congested
+	// clique samplers: "" or "charged" (the serving default) charges the hot
+	// supersteps analytically from their communication patterns; "full"
+	// materializes every message — the audit mode. Trees and Stats are
+	// byte-identical across modes; like NoPhaseCache, the knob exists for
+	// A/B verification, not correctness. Only valid with SamplerPhase,
+	// SamplerExact, and SamplerLowCover, the samplers that run on the
+	// simulated clique.
+	SimFidelity string `json:"sim_fidelity,omitempty"`
 }
 
 // SpecFor returns the spec running the named sampler with default knobs.
@@ -90,6 +101,12 @@ func (s SamplerSpec) normalized() (SamplerSpec, error) {
 	}
 	if s.NoPhaseCache && s.Name != SamplerPhase && s.Name != SamplerExact {
 		return s, fmt.Errorf("engine: no_phase_cache only applies to %q and %q, not %q", SamplerPhase, SamplerExact, s.Name)
+	}
+	if !clique.Fidelity(s.SimFidelity).Valid() {
+		return s, fmt.Errorf("engine: unknown sim fidelity %q (want %q or %q)", s.SimFidelity, clique.FidelityCharged, clique.FidelityFull)
+	}
+	if s.SimFidelity != "" && s.Name != SamplerPhase && s.Name != SamplerExact && s.Name != SamplerLowCover {
+		return s, fmt.Errorf("engine: sim_fidelity only applies to %q, %q and %q, not %q", SamplerPhase, SamplerExact, SamplerLowCover, s.Name)
 	}
 	return s, nil
 }

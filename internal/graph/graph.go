@@ -16,6 +16,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Half is one endpoint of an incident edge: the neighbor and the edge weight.
@@ -41,6 +42,19 @@ type Graph struct {
 	degree []float64 // weighted degree per vertex
 	index  []map[int]int
 	m      int
+
+	// cum is the lazily built per-vertex cumulative-weight index random-walk
+	// samplers binary-search (CumulativeWeights). Any mutation invalidates
+	// it; concurrent readers of a frozen graph may race to rebuild it, which
+	// is benign — every build produces identical arrays.
+	cum atomic.Pointer[cumWeights]
+}
+
+// cumWeights holds, per vertex, the running prefix sums of incident edge
+// weights in adjacency order: rows[v][i] = sum of the first i+1 weights,
+// accumulated left to right exactly as a linear scan would.
+type cumWeights struct {
+	rows [][]float64
 }
 
 // New returns an edgeless graph on n vertices. It returns an error when
@@ -104,6 +118,7 @@ func (g *Graph) addHalf(u, v int, w float64) {
 	g.index[u][v] = len(g.adj[u])
 	g.adj[u] = append(g.adj[u], Half{To: v, Weight: w})
 	g.degree[u] += w
+	g.cum.Store(nil)
 }
 
 // HasEdge reports whether the edge {u, v} exists.
@@ -141,6 +156,7 @@ func (g *Graph) SetWeight(u, v int, w float64) error {
 		g.degree[a] += w - g.adj[a][i].Weight
 		g.adj[a][i].Weight = w
 	}
+	g.cum.Store(nil)
 	return nil
 }
 
@@ -163,6 +179,7 @@ func (g *Graph) removeEdge(u, v int) {
 		g.degree[a] -= w
 	}
 	g.m--
+	g.cum.Store(nil)
 }
 
 // Degree returns the weighted degree of v (sum of incident edge weights).
@@ -185,6 +202,41 @@ func (g *Graph) VisitNeighbors(v int, fn func(Half)) {
 	for _, h := range g.adj[v] {
 		fn(h)
 	}
+}
+
+// NeighborAt returns v's i-th incident half-edge in adjacency order without
+// copying the list. i must be in [0, NeighborCount(v)).
+func (g *Graph) NeighborAt(v, i int) Half { return g.adj[v][i] }
+
+// CumulativeWeights returns v's cumulative incident-weight prefix array,
+// aligned with the adjacency order NeighborAt indexes: entry i holds the sum
+// of the first i+1 incident edge weights, accumulated left to right exactly
+// as a linear scan would — so a binary search for the first entry exceeding
+// r picks the same neighbor the scan picks, bit for bit. The index is built
+// lazily over the whole graph on first use and invalidated by any mutation;
+// walk.Step is the hot consumer (O(log deg) per step on dense graphs).
+func (g *Graph) CumulativeWeights(v int) []float64 {
+	cw := g.cum.Load()
+	if cw == nil {
+		cw = g.buildCumWeights()
+	}
+	return cw.rows[v]
+}
+
+func (g *Graph) buildCumWeights() *cumWeights {
+	rows := make([][]float64, g.n)
+	for v := 0; v < g.n; v++ {
+		row := make([]float64, len(g.adj[v]))
+		acc := 0.0
+		for i, h := range g.adj[v] {
+			acc += h.Weight
+			row[i] = acc
+		}
+		rows[v] = row
+	}
+	cw := &cumWeights{rows: rows}
+	g.cum.Store(cw)
+	return cw
 }
 
 // Edges returns all edges sorted by (U, V).

@@ -24,7 +24,15 @@ import (
 // exactly the round(.) fixed-point discipline of Lemma 7; the returned
 // matrices then under-approximate the true powers entrywise by at most the
 // lemma's E(k) bound.
-func DyadicTable(sim *clique.Sim, backend Backend, p *matrix.Matrix, maxExp int, delta float64) (*matrix.PowerDyadic, error) {
+//
+// fid selects the execution mode of the per-power column redistribution:
+// charged (the default) charges the balanced all-to-all analytically, full
+// materializes its d² single-word messages. The matrices, the round charges,
+// and the trace are identical either way — machine j's "column" is a view
+// into the same shared matrix in both modes. The backend's own Mul is not
+// affected: the dataflow backends (naive, semiring3d) route real words by
+// design regardless of fid.
+func DyadicTable(sim *clique.Sim, backend Backend, p *matrix.Matrix, maxExp int, delta float64, fid clique.Fidelity) (*matrix.PowerDyadic, error) {
 	if backend == nil {
 		return nil, fmt.Errorf("mm: nil backend")
 	}
@@ -40,7 +48,7 @@ func DyadicTable(sim *clique.Sim, backend Backend, p *matrix.Matrix, maxExp int,
 		cur.TruncateDown(delta)
 	}
 	pows[0] = cur
-	if err := distributeColumns(sim, cur); err != nil {
+	if err := distributeColumns(sim, cur, fid); err != nil {
 		return nil, err
 	}
 	for e := 1; e <= maxExp; e++ {
@@ -53,7 +61,7 @@ func DyadicTable(sim *clique.Sim, backend Backend, p *matrix.Matrix, maxExp int,
 		}
 		pows[e] = next
 		cur = next
-		if err := distributeColumns(sim, cur); err != nil {
+		if err := distributeColumns(sim, cur, fid); err != nil {
 			return nil, err
 		}
 	}
@@ -115,8 +123,15 @@ func ChargeSchurShortcutBuild(sim *clique.Sim, backend Backend, n, maxExp int) e
 // one word per ordered machine pair (1 round). After it, machine j holds
 // column j in addition to row j — the property Algorithm 2 step 4 relies on
 // when machine M_{p,q} asks machine j for P^(δ/2)[p,j] * P^(δ/2)[j,q].
-func distributeColumns(sim *clique.Sim, m *matrix.Matrix) error {
+// Charged mode charges the same exchange from its pattern (the column view
+// already lives in the shared matrix); full mode routes the d² words.
+func distributeColumns(sim *clique.Sim, m *matrix.Matrix, fid clique.Fidelity) error {
 	d := m.Rows()
+	if fid.Charged() {
+		plan := clique.NewCostPlan(sim.N())
+		plan.AllToAll(d, 1)
+		return sim.ChargedSuperstep("mm/column-distribute", plan, nil)
+	}
 	return sim.Superstep("mm/column-distribute", func(id int, in []clique.Message) ([]clique.Message, error) {
 		if id >= d {
 			return nil, nil

@@ -153,7 +153,7 @@ func TestDyadicTableMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim := clique.MustNew(g.N())
-	table, err := DyadicTable(sim, Fast{}, p, 5, 0)
+	table, err := DyadicTable(sim, Fast{}, p, 5, 0, "")
 	if err != nil {
 		t.Fatalf("DyadicTable: %v", err)
 	}
@@ -176,7 +176,7 @@ func TestDyadicTableTruncation(t *testing.T) {
 	p := randomStochastic(8, src)
 	sim := clique.MustNew(8)
 	const delta = 1e-6
-	table, err := DyadicTable(sim, Fast{}, p, 4, delta)
+	table, err := DyadicTable(sim, Fast{}, p, 4, delta, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,14 +196,14 @@ func TestDyadicTableTruncation(t *testing.T) {
 func TestDyadicTableValidation(t *testing.T) {
 	sim := clique.MustNew(4)
 	p := matrix.MustNew(2, 3)
-	if _, err := DyadicTable(sim, Fast{}, p, 2, 0); err == nil {
+	if _, err := DyadicTable(sim, Fast{}, p, 2, 0, ""); err == nil {
 		t.Error("expected error for non-square matrix")
 	}
 	sq := matrix.Identity(2)
-	if _, err := DyadicTable(sim, Fast{}, sq, -1, 0); err == nil {
+	if _, err := DyadicTable(sim, Fast{}, sq, -1, 0, ""); err == nil {
 		t.Error("expected error for negative exponent")
 	}
-	if _, err := DyadicTable(sim, nil, sq, 1, 0); err == nil {
+	if _, err := DyadicTable(sim, nil, sq, 1, 0, ""); err == nil {
 		t.Error("expected error for nil backend")
 	}
 }

@@ -41,6 +41,11 @@ import (
 // again. All of it is immutable once cached; concurrent samples read it in
 // place.
 type Entry struct {
+	// Scope namespaces the entry within a cache shared by several Prepared
+	// states (the engine's global budget shares one cache across every
+	// registered graph and sampler variant); a private per-Prepared cache
+	// uses scope 0. Lookups match on (Scope, Members) exactly.
+	Scope uint64
 	// Members is the sorted vertex subset this state was built for — kept to
 	// make lookups exact (a 64-bit key collision can never serve the wrong
 	// subset's matrices).
@@ -70,11 +75,11 @@ func (e *Entry) cost() int64 {
 	return floats*8 + int64(len(e.Members))*8
 }
 
-// KeyOf hashes a sorted member list to the cache's 64-bit key (FNV-1a over
-// the members and the length). Collisions are tolerated — Get compares the
-// stored Members exactly — but must not be manufactured cheaply, which FNV
-// over full ints is good enough for.
-func KeyOf(members []int) uint64 {
+// KeyOf hashes a (scope, sorted member list) pair to the cache's 64-bit key
+// (FNV-1a over the scope, the length, and the members). Collisions are
+// tolerated — Get compares the stored scope and Members exactly — but must
+// not be manufactured cheaply, which FNV over full ints is good enough for.
+func KeyOf(scope uint64, members []int) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -86,6 +91,7 @@ func KeyOf(members []int) uint64 {
 			h *= prime64
 		}
 	}
+	mix(scope)
 	mix(uint64(len(members)))
 	for _, m := range members {
 		mix(uint64(m))
@@ -158,18 +164,18 @@ func New(capacityBytes int64) *Cache {
 	}
 }
 
-// Get returns the cached entry for the sorted member list, if present. The
-// returned entry is shared and must be treated as read-only.
-func (c *Cache) Get(members []int) (*Entry, bool) {
+// Get returns the cached entry for the scoped sorted member list, if
+// present. The returned entry is shared and must be treated as read-only.
+func (c *Cache) Get(scope uint64, members []int) (*Entry, bool) {
 	if c == nil {
 		return nil, false
 	}
-	key := KeyOf(members)
+	key := KeyOf(scope, members)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[key]; ok {
 		n := el.Value.(*node)
-		if sameMembers(n.entry.Members, members) {
+		if n.entry.Scope == scope && sameMembers(n.entry.Members, members) {
 			c.lru.MoveToFront(el)
 			c.hits++
 			return n.entry, true
@@ -179,7 +185,7 @@ func (c *Cache) Get(members []int) (*Entry, bool) {
 	return nil, false
 }
 
-// Put inserts the entry under its Members key, evicting least-recently-used
+// Put inserts the entry under its (Scope, Members) key, evicting least-recently-used
 // entries as needed to stay under the byte budget. If the key is already
 // present with the same Members (two workers raced on the same cold build)
 // the resident entry is kept — both builds are bit-identical, so which one
@@ -194,7 +200,7 @@ func (c *Cache) Put(e *Entry) {
 		return
 	}
 	cost := e.cost()
-	key := KeyOf(e.Members)
+	key := KeyOf(e.Scope, e.Members)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cost > c.capacity {
@@ -203,7 +209,7 @@ func (c *Cache) Put(e *Entry) {
 	}
 	if el, ok := c.index[key]; ok {
 		n := el.Value.(*node)
-		if sameMembers(n.entry.Members, e.Members) {
+		if n.entry.Scope == e.Scope && sameMembers(n.entry.Members, e.Members) {
 			c.lru.MoveToFront(el)
 			return
 		}

@@ -26,16 +26,16 @@ func testEntry(members []int, val float64) *Entry {
 func TestCacheHitMissAndExactness(t *testing.T) {
 	c := New(1 << 20)
 	a := []int{0, 2, 5}
-	if _, ok := c.Get(a); ok {
+	if _, ok := c.Get(0, a); ok {
 		t.Fatal("hit on empty cache")
 	}
 	c.Put(testEntry(a, 7))
-	got, ok := c.Get(a)
+	got, ok := c.Get(0, a)
 	if !ok || got.Shortcut.At(0, 0) != 7 {
 		t.Fatalf("expected hit with value 7, got %v %v", got, ok)
 	}
 	// A different subset must miss even though the cache is non-empty.
-	if _, ok := c.Get([]int{0, 2, 6}); ok {
+	if _, ok := c.Get(0, []int{0, 2, 6}); ok {
 		t.Fatal("hit for a subset never inserted")
 	}
 	s := c.Stats()
@@ -44,7 +44,7 @@ func TestCacheHitMissAndExactness(t *testing.T) {
 	}
 	// Racing Put on the same key keeps the resident entry.
 	c.Put(testEntry(a, 9))
-	got, _ = c.Get(a)
+	got, _ = c.Get(0, a)
 	if got.Shortcut.At(0, 0) != 7 {
 		t.Error("duplicate Put replaced the resident entry")
 	}
@@ -62,15 +62,15 @@ func TestCacheLRUEviction(t *testing.T) {
 		c.Put(testEntry(s, 1))
 	}
 	// Touch the first so the second becomes least recently used.
-	if _, ok := c.Get(subsets[0]); !ok {
+	if _, ok := c.Get(0, subsets[0]); !ok {
 		t.Fatal("expected resident entry")
 	}
 	c.Put(testEntry(subsets[3], 1))
-	if _, ok := c.Get(subsets[1]); ok {
+	if _, ok := c.Get(0, subsets[1]); ok {
 		t.Error("least recently used entry survived eviction")
 	}
 	for _, s := range [][]int{subsets[0], subsets[2], subsets[3]} {
-		if _, ok := c.Get(s); !ok {
+		if _, ok := c.Get(0, s); !ok {
 			t.Errorf("entry %v evicted out of LRU order", s)
 		}
 	}
@@ -100,7 +100,7 @@ func TestNilCacheIsDisabled(t *testing.T) {
 		t.Error("negative capacity should return a disabled (nil) cache")
 	}
 	c.Put(testEntry([]int{0, 1}, 1))
-	if _, ok := c.Get([]int{0, 1}); ok {
+	if _, ok := c.Get(0, []int{0, 1}); ok {
 		t.Error("nil cache returned a hit")
 	}
 	if s := c.Stats(); s != (Stats{}) {
@@ -115,11 +115,11 @@ func TestKeyOfDistinguishesLengthAndOrder(t *testing.T) {
 		{{1}, {0, 1}},
 	}
 	for _, p := range pairs {
-		if KeyOf(p[0]) == KeyOf(p[1]) {
+		if KeyOf(0, p[0]) == KeyOf(0, p[1]) {
 			t.Errorf("KeyOf collision between %v and %v", p[0], p[1])
 		}
 	}
-	if KeyOf([]int{4, 7, 9}) != KeyOf([]int{4, 7, 9}) {
+	if KeyOf(0, []int{4, 7, 9}) != KeyOf(0, []int{4, 7, 9}) {
 		t.Error("KeyOf not deterministic")
 	}
 }
@@ -139,7 +139,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				s := subsets[(w+i)%len(subsets)]
-				if _, ok := c.Get(s); !ok {
+				if _, ok := c.Get(0, s); !ok {
 					c.Put(testEntry(s, float64(len(s))))
 				}
 				if i%17 == 0 {
@@ -152,5 +152,33 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	s := c.Stats()
 	if s.Hits == 0 || s.Entries == 0 {
 		t.Errorf("concurrent traffic produced no hits or entries: %+v", s)
+	}
+}
+
+// TestCacheScopeIsolation checks that identical member lists under distinct
+// scopes (two graphs sharing the engine's global budget) never serve each
+// other's entries.
+func TestCacheScopeIsolation(t *testing.T) {
+	c := New(1 << 20)
+	members := []int{0, 1, 2}
+	ea := testEntry(members, 1.0)
+	ea.Scope = 1
+	eb := testEntry(members, 2.0)
+	eb.Scope = 2
+	c.Put(ea)
+	c.Put(eb)
+	got, ok := c.Get(1, members)
+	if !ok || got.Shortcut.At(0, 0) != 1.0 {
+		t.Fatalf("scope 1 lookup: ok=%v entry=%v", ok, got)
+	}
+	got, ok = c.Get(2, members)
+	if !ok || got.Shortcut.At(0, 0) != 2.0 {
+		t.Fatalf("scope 2 lookup: ok=%v entry=%v", ok, got)
+	}
+	if _, ok := c.Get(3, members); ok {
+		t.Fatal("unpopulated scope served an entry")
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (scopes must not collide)", s.Entries)
 	}
 }

@@ -300,3 +300,130 @@ func TestEstimateCoverTimeErrors(t *testing.T) {
 		t.Error("expected error for zero trials")
 	}
 }
+
+// stepLinear is the pre-index O(deg) linear scan Step replaced, kept as the
+// reference implementation: the cumulative-weight binary search must draw
+// the same neighbor for every (graph, vertex, seed) triple, bit for bit.
+func stepLinear(g *graph.Graph, u int, src *prng.Source) (int, error) {
+	deg := g.Degree(u)
+	if deg <= 0 {
+		return 0, nil
+	}
+	r := src.Float64() * deg
+	acc := 0.0
+	next := -1
+	g.VisitNeighbors(u, func(h graph.Half) {
+		if next >= 0 {
+			return
+		}
+		acc += h.Weight
+		if r < acc {
+			next = h.To
+		}
+	})
+	if next < 0 {
+		nb := g.Neighbors(u)
+		next = nb[len(nb)-1].To
+	}
+	return next, nil
+}
+
+// TestStepMatchesLinearScan drives Step and the linear-scan reference from
+// identical rng streams over weighted and unweighted graphs and requires
+// identical draws — the determinism contract that lets the prefix index
+// land without perturbing any sampler's output.
+func TestStepMatchesLinearScan(t *testing.T) {
+	graphs := map[string]*graph.Graph{}
+	var err error
+	if graphs["complete"], err = graph.Complete(40); err != nil {
+		t.Fatal(err)
+	}
+	if graphs["er"], err = graph.ErdosRenyi(60, 0.3, prng.New(11)); err != nil {
+		t.Fatal(err)
+	}
+	if graphs["lollipop"], err = graph.Lollipop(20, 10); err != nil {
+		t.Fatal(err)
+	}
+	weighted := graph.MustNew(12)
+	w := 0.1
+	for u := 0; u < 12; u++ {
+		for v := u + 1; v < 12; v++ {
+			if err := weighted.AddEdge(u, v, w); err != nil {
+				t.Fatal(err)
+			}
+			w += 0.7
+		}
+	}
+	graphs["weighted"] = weighted
+
+	for name, g := range graphs {
+		for u := 0; u < g.N(); u += 3 {
+			a := prng.New(uint64(1000 + u))
+			b := prng.New(uint64(1000 + u))
+			for i := 0; i < 200; i++ {
+				got, err := Step(g, u, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := stepLinear(g, u, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s vertex %d draw %d: Step picked %d, linear scan %d", name, u, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCumulativeWeightsInvalidation checks the index tracks mutations: a
+// weight change after the index was built must be reflected in later draws.
+func TestCumulativeWeightsInvalidation(t *testing.T) {
+	g := graph.MustNew(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.CumulativeWeights(0) // build
+	if err := g.SetWeight(0, 2, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	cum := g.CumulativeWeights(0)
+	if cum[len(cum)-1] != g.Degree(0) {
+		t.Fatalf("stale cumulative weights after SetWeight: %v vs degree %g", cum, g.Degree(0))
+	}
+	counts := map[int]int{}
+	for i := 0; i < 100; i++ {
+		v, err := Step(g, 0, prng.New(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	if counts[2] < 99 {
+		t.Errorf("after reweighting, vertex 2 drawn %d/100 times", counts[2])
+	}
+}
+
+// The dense-graph win the prefix index buys: O(log deg) per step vs the
+// linear scan's O(deg). Run with -bench Step ./internal/walk/.
+func benchmarkStep(b *testing.B, step func(*graph.Graph, int, *prng.Source) (int, error)) {
+	g, err := graph.Complete(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.CumulativeWeights(0) // build outside the timer
+	src := prng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := step(g, i%512, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepDensePrefix(b *testing.B) { benchmarkStep(b, Step) }
+func BenchmarkStepDenseLinear(b *testing.B) { benchmarkStep(b, stepLinear) }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -103,10 +104,11 @@ func Expander(n int, seed uint64) (*Graph, error) {
 
 // options collects the Sample configuration; see the With* constructors.
 type options struct {
-	seed     uint64
-	cfg      core.Config
-	segLen   int
-	treePath bool
+	seed         uint64
+	cfg          core.Config
+	segLen       int
+	treePath     bool
+	cacheTotalMB int
 }
 
 // Option configures the samplers.
@@ -206,6 +208,37 @@ func WithPhaseCacheMB(mb int) Option {
 			mb = core.DefaultPhaseCacheMB
 		}
 		o.cfg.PhaseCacheMB = mb
+		return nil
+	}
+}
+
+// WithPhaseCacheTotalMB replaces the per-graph later-phase caches of an
+// Engine with ONE byte-budgeted cache shared by every registered graph and
+// sampler variant — the serving-grade budget: total resident phase state is
+// bounded no matter how many graphs are registered, with the LRU arbitrating
+// between them (entries are namespaced per graph, so the budget is shared
+// but the state never is). 0 or negative keeps the per-graph caches.
+// Engine-only; one-shot samplers ignore it.
+func WithPhaseCacheTotalMB(mb int) Option {
+	return func(o *options) error {
+		o.cacheTotalMB = mb
+		return nil
+	}
+}
+
+// WithSimFidelity selects the simulator execution mode for the congested
+// clique samplers: "charged" (the default) charges the hot protocol
+// supersteps analytically from their communication patterns — no message
+// materialization; "full" routes every message through the simulator, the
+// audit mode. Trees and Stats are byte-identical across modes. Engine
+// requests can override per request via SamplerSpec.SimFidelity.
+func WithSimFidelity(mode string) Option {
+	return func(o *options) error {
+		f := clique.Fidelity(mode)
+		if !f.Valid() {
+			return fmt.Errorf("spantree: unknown sim fidelity %q (want %q or %q)", mode, clique.FidelityCharged, clique.FidelityFull)
+		}
+		o.cfg.SimFidelity = f
 		return nil
 	}
 }
@@ -453,5 +486,5 @@ func NewEngine(workers int, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.New(engine.Options{Workers: workers, Config: o.cfg}), nil
+	return engine.New(engine.Options{Workers: workers, Config: o.cfg, PhaseCacheTotalMB: o.cacheTotalMB}), nil
 }
