@@ -5,7 +5,20 @@
 //
 // Usage:
 //
-//	spantreed -addr :8080 -workers 8 -phase-cache-mb 128
+//	spantreed -addr :8080 -workers 8 -stream-workers 8 -max-streams-per-graph 4 -phase-cache-mb 128
+//
+// Concurrent streams share ONE engine-wide worker pool (-stream-workers
+// slots, default -workers) arbitrated by a weighted scheduler: each stream
+// receives slot grants proportional to its "weight" (default 1.0, settable
+// per request), capped by its "max_workers". Slots cover computation only —
+// a stream whose NDJSON consumer reads slowly self-throttles on its bounded
+// result buffer and its slots flow to faster streams instead of being
+// pinned. -max-streams-per-graph bounds concurrent sampling jobs per graph
+// — /v1/sample and /v1/audit batches run as streams internally and count
+// toward the cap too — and the excess request is rejected with 429. Per-graph active-stream and
+// queue-depth gauges appear under /v1/stats. None of this changes response
+// bytes: the tree at index i is a pure function of (graph, sampler spec,
+// seed_base, i) at any weight, worker count, or consumption order.
 //
 // -phase-cache-mb bounds each graph's later-phase state cache (Schur,
 // shortcut, and power-table triples keyed by phase subset; hits skip the
@@ -64,14 +77,20 @@ func main() {
 
 func run() error {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
-		cacheMB      = flag.Int("phase-cache-mb", 0, "per-graph later-phase state cache budget in MB (0: default, negative: disabled)")
-		cacheTotalMB = flag.Int("phase-cache-total-mb", 0, "global later-phase cache budget in MB shared across all graphs (0: per-graph budgets)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
+		streamWorkers = flag.Int("stream-workers", 0, "engine-wide stream worker pool width shared by all concurrent streams (0: same as -workers)")
+		maxStreams    = flag.Int("max-streams-per-graph", 0, "max concurrent sampling jobs per graph (streams AND /v1/sample | /v1/audit batches); excess requests get 429 (0: unlimited)")
+		cacheMB       = flag.Int("phase-cache-mb", 0, "per-graph later-phase state cache budget in MB (0: default, negative: disabled)")
+		cacheTotalMB  = flag.Int("phase-cache-total-mb", 0, "global later-phase cache budget in MB shared across all graphs (0: per-graph budgets)")
 	)
 	flag.Parse()
 
-	eng, err := spantree.NewEngine(*workers, spantree.WithPhaseCacheMB(*cacheMB), spantree.WithPhaseCacheTotalMB(*cacheTotalMB))
+	eng, err := spantree.NewEngine(*workers,
+		spantree.WithPhaseCacheMB(*cacheMB),
+		spantree.WithPhaseCacheTotalMB(*cacheTotalMB),
+		spantree.WithStreamWorkers(*streamWorkers),
+		spantree.WithMaxStreamsPerGraph(*maxStreams))
 	if err != nil {
 		return err
 	}
@@ -87,7 +106,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("spantreed listening on %s (workers=%d)", *addr, eng.Workers())
+		log.Printf("spantreed listening on %s (workers=%d, stream workers=%d)", *addr, eng.Workers(), eng.StreamWorkers())
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -179,6 +198,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, spantree.ErrUnknownSampler):
 		return http.StatusBadRequest
+	case errors.Is(err, spantree.ErrStreamLimit):
+		return http.StatusTooManyRequests
 	case errors.Is(err, spantree.ErrSampleFailed):
 		return http.StatusInternalServerError
 	default:
@@ -387,15 +408,17 @@ func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 // streamRequest is the body of /v1/graphs/{key}/stream: a typed sampler
 // spec (name + per-sampler knobs) instead of /v1/sample's bare string.
 type streamRequest struct {
-	K             int    `json:"k"`
-	Sampler       string `json:"sampler,omitempty"`
-	SegmentLength int    `json:"segment_length,omitempty"`
-	MaxSteps      int    `json:"max_steps,omitempty"`
-	Root          int    `json:"root,omitempty"`
-	NoPhaseCache  bool   `json:"no_phase_cache,omitempty"`
-	SimFidelity   string `json:"sim_fidelity,omitempty"`
-	SeedBase      uint64 `json:"seed_base"`
-	Workers       int    `json:"workers,omitempty"`
+	K             int     `json:"k"`
+	Sampler       string  `json:"sampler,omitempty"`
+	SegmentLength int     `json:"segment_length,omitempty"`
+	MaxSteps      int     `json:"max_steps,omitempty"`
+	Root          int     `json:"root,omitempty"`
+	NoPhaseCache  bool    `json:"no_phase_cache,omitempty"`
+	SimFidelity   string  `json:"sim_fidelity,omitempty"`
+	Weight        float64 `json:"weight,omitempty"`
+	MaxWorkers    int     `json:"max_workers,omitempty"`
+	SeedBase      uint64  `json:"seed_base"`
+	Workers       int     `json:"workers,omitempty"` // legacy alias for max_workers
 }
 
 func (r streamRequest) stream() spantree.StreamRequest {
@@ -408,6 +431,8 @@ func (r streamRequest) stream() spantree.StreamRequest {
 			Root:          r.Root,
 			NoPhaseCache:  r.NoPhaseCache,
 			SimFidelity:   r.SimFidelity,
+			Weight:        r.Weight,
+			MaxWorkers:    r.MaxWorkers,
 		},
 		SeedBase: r.SeedBase,
 		Workers:  r.Workers,

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"testing"
 	"time"
 
@@ -218,6 +219,117 @@ func TestStreamClientDisconnectAbortsWork(t *testing.T) {
 	}
 }
 
+// TestStreamLimit429 covers the admission cap over the wire: with
+// -max-streams-per-graph 1, a second concurrent stream on the same graph is
+// rejected with 429 while the first is still in flight, and succeeds again
+// once the first ends.
+func TestStreamLimit429(t *testing.T) {
+	eng, err := spantree.NewEngine(1, spantree.WithWalkLength(256), spantree.WithMaxStreamsPerGraph(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng).routes())
+	t.Cleanup(ts.Close)
+	// Aldous-Broder on a lollipop graph has Θ(n³) cover time per sample —
+	// slow enough that the first stream is still mid-batch when the second
+	// request lands.
+	registerFamily(t, ts, "c", "lollipop", 192)
+
+	// Hold a stream open by reading only its first line.
+	body, _ := json.Marshal(map[string]any{"k": 512, "sampler": "aldous", "max_workers": 1, "seed_base": 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/graphs/c/stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("reading first stream line: %v", err)
+	}
+
+	second := postJSON(t, ts.URL+"/v1/graphs/c/stream", map[string]any{"k": 1, "sampler": "wilson"})
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second concurrent stream: status %d, want 429", second.StatusCode)
+	}
+
+	// Dropping the first stream frees the graph's slot (poll: the abort is
+	// asynchronous with the disconnect).
+	cancel()
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		retry := postJSON(t, ts.URL+"/v1/graphs/c/stream", map[string]any{"k": 1, "sampler": "wilson"})
+		retry.Body.Close()
+		if retry.StatusCode == http.StatusOK {
+			break
+		}
+		if retry.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("retry stream: status %d", retry.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream slot never freed after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamSchedulingKnobs checks that weight/max_workers ride the wire and
+// never change output bytes: the same (graph, sampler, seed_base) streamed
+// at different weights and worker caps reassembles to identical trees.
+func TestStreamSchedulingKnobs(t *testing.T) {
+	ts, _ := newTestServer(t)
+	registerFamily(t, ts, "c", "cycle", 10)
+
+	collect := func(body map[string]any) []string {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/graphs/c/stream", body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		trees := make([]string, 6)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var line struct {
+				Index *int   `json:"index"`
+				Tree  string `json:"tree"`
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			if line.Error != "" {
+				t.Fatalf("stream error: %s", line.Error)
+			}
+			if line.Index != nil {
+				trees[*line.Index] = line.Tree
+			}
+		}
+		return trees
+	}
+
+	base := collect(map[string]any{"k": 6, "sampler": "wilson", "seed_base": 5})
+	for _, body := range []map[string]any{
+		{"k": 6, "sampler": "wilson", "seed_base": 5, "weight": 0.25},
+		{"k": 6, "sampler": "wilson", "seed_base": 5, "weight": 8, "max_workers": 2},
+		{"k": 6, "sampler": "wilson", "seed_base": 5, "max_workers": 1},
+	} {
+		if got := collect(body); !slices.Equal(got, base) {
+			t.Errorf("scheduling knobs changed output: %v gave %v, want %v", body, got, base)
+		}
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/graphs/c/stream", map[string]any{"k": 1, "weight": -2})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative weight: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestGraphLifecycleEndpoints exercises register/list/get/delete round trips
 // plus edge-list registration.
 func TestGraphLifecycleEndpoints(t *testing.T) {
@@ -318,6 +430,14 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if stats.Engine.MatrixPool.Gets < 1 {
 		t.Errorf("matrix-pool counters missing from metrics: %+v", stats.Engine.MatrixPool)
+	}
+	// The stream-pool gauges are always present; idle means zero utilization
+	// but the pool width (1-worker test engine) still shows.
+	if sp := stats.Engine.StreamPool; sp.Workers != 1 || sp.ActiveStreams != 0 || sp.SlotsInUse != 0 {
+		t.Errorf("stream-pool gauges wrong on idle engine: %+v", sp)
+	}
+	if len(stats.Engine.StreamsByGraph) != 0 {
+		t.Errorf("per-graph stream gauges should be empty when idle: %+v", stats.Engine.StreamsByGraph)
 	}
 	if stats.Requests < 2 {
 		t.Errorf("request counter: %+v", stats)

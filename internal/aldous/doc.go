@@ -1,0 +1,16 @@
+// Package aldous implements the baseline spanning tree samplers the paper
+// is measured against:
+//
+//   - AldousBroder: the sequential first-visit-edge sampler of Aldous [1]
+//     and Broder [12] — exactly uniform, Θ(cover time) steps.
+//   - Wilson: Wilson's loop-erased random walk sampler [73] — exactly
+//     uniform, Θ(mean hitting time) steps, usually much faster.
+//   - NaiveCongestedClique: the straightforward distributed port of
+//     Aldous-Broder that advances the walk one step per round — the
+//     Θ(cover time)-round strawman whose cost motivates the whole paper
+//     (experiment E9 exhibits the crossover against the phase algorithm).
+//   - RandomWeightMST: the §1.4 strawman — assign uniform random weights
+//     and take the minimum spanning tree. Fast (O(1) rounds in the real
+//     model) but *wrong*: its tree distribution is provably not uniform,
+//     which experiment E7 measures.
+package aldous

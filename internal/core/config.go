@@ -1,21 +1,3 @@
-// Package core implements the paper's main contribution: the phase-based
-// congested clique algorithm that samples an approximately uniform spanning
-// tree in Õ(n^(1/2+α)) simulated rounds (Theorem 1), together with the
-// exact Õ(n^(2/3+α)) variant of the appendix.
-//
-// Each phase extends an Aldous-Broder walk by ρ = ⌊√n⌋ distinct vertices
-// while skipping everything visited in earlier phases, by walking on the
-// Schur complement graph (§2.2). Within a phase the walk is built top-down,
-// level by level (Outline 3): the leader requests midpoints from designated
-// pair machines (Algorithm 2), locates the truncation point by distributed
-// binary search (Algorithm 3), collects only the compressed multiset of
-// midpoints, and re-places them by sampling a weighted perfect matching
-// (Lemma 3). First-visit edges in G are recovered from the shortcut graph
-// by Bayes' rule (Algorithm 4).
-//
-// Every protocol message flows through the clique simulator, so the
-// reported round counts are the loads the paper's accounting charges; see
-// the clique package documentation for the cost model.
 package core
 
 import (

@@ -1,21 +1,3 @@
-// Package engine is the concurrent sampling engine behind the
-// spantree.Engine API and the spantreed server: a registry of graphs keyed
-// by name with cached, immutable per-graph precomputation (core.Prepared
-// state, spanning tree counts), a Session handle per prepared graph whose
-// typed SamplerSpec requests run on a cancellable streaming worker pool
-// (Session.Stream / Session.Collect / Session.Sample), and an aggregation
-// layer folding per-sample Stats into batch summaries.
-//
-// The engine exists because tree sampling is a repeated-query primitive:
-// sparsification, random-walk estimation, and uniformity audits all draw
-// many trees from the same graph, so the per-graph work (adjacency
-// normalization, transition tables, the phase-0 dyadic power table that
-// dominates a run's numeric cost) is paid once at registration and shared —
-// read-only — by every concurrent sample thereafter.
-//
-// Determinism is a hard contract: sample i of a batch uses a randomness
-// stream derived solely from (seed base, i), never from scheduling, so a
-// batch's output is byte-identical whether it runs on one worker or many.
 package engine
 
 import (
@@ -71,12 +53,26 @@ func Samplers() []Sampler {
 
 // Options configures an Engine.
 type Options struct {
-	// Workers is the default worker-pool width for batch jobs (default:
-	// GOMAXPROCS). Individual batch requests may override it.
+	// Workers is the engine's default concurrency (default: GOMAXPROCS). It
+	// seeds StreamWorkers when that is unset; requests cap their own share
+	// via SamplerSpec.MaxWorkers (or the legacy StreamRequest.Workers).
 	Workers int
 	// Config is the sampler configuration used for the phase and exact
 	// samplers (zero value: the paper's defaults at each graph's size).
 	Config core.Config
+	// StreamWorkers is the width of the engine-wide stream worker pool — the
+	// maximum number of samples computing at once across ALL concurrent
+	// streams, arbitrated by weight (default: Workers). Individual streams
+	// cap their own share with SamplerSpec.MaxWorkers but can never widen
+	// the pool.
+	StreamWorkers int
+	// MaxStreamsPerGraph, when positive, caps how many streams may be in
+	// flight per graph key at once; Session.Stream beyond the cap fails
+	// synchronously with ErrStreamLimit (HTTP 429 at the serving layer).
+	// Collect and Audit run as streams internally, so batch jobs count
+	// toward the same cap (one-shot Session.Sample does not). 0 means
+	// unlimited.
+	MaxStreamsPerGraph int
 	// PhaseCacheTotalMB, when positive, replaces the per-graph later-phase
 	// caches (Config.PhaseCacheMB each) with ONE byte-budgeted cache shared
 	// by every graph and sampler variant the engine serves — the
@@ -87,12 +83,17 @@ type Options struct {
 	PhaseCacheTotalMB int
 }
 
-// Engine is a registry of graphs plus a worker pool for batch sampling.
-// All methods are safe for concurrent use.
+// Engine is a registry of graphs plus the engine-wide weighted stream
+// scheduler every batch and stream runs on. All methods are safe for
+// concurrent use.
 type Engine struct {
 	reg     registry
 	workers int
 	cfg     core.Config
+
+	// sched is the engine-wide weighted stream scheduler: every
+	// Session.Stream leases its compute slots from this one pool.
+	sched *scheduler
 
 	// sharedCache, when non-nil, is the engine-wide later-phase cache every
 	// prepared graph borrows (Options.PhaseCacheTotalMB); scopeSeq hands out
@@ -117,7 +118,11 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: w, cfg: opts.Config}
+	sw := opts.StreamWorkers
+	if sw <= 0 {
+		sw = w
+	}
+	e := &Engine{workers: w, cfg: opts.Config, sched: newScheduler(sw, opts.MaxStreamsPerGraph)}
 	if opts.PhaseCacheTotalMB > 0 {
 		e.sharedCache = phasecache.New(int64(opts.PhaseCacheTotalMB) << 20)
 	}
@@ -128,6 +133,9 @@ func New(opts Options) *Engine {
 // Workers reports the default worker-pool width.
 func (e *Engine) Workers() int { return e.workers }
 
+// StreamWorkers reports the width of the engine-wide stream worker pool.
+func (e *Engine) StreamWorkers() int { return e.sched.slots }
+
 // Metrics is a snapshot of the engine's cumulative counters. Samples counts
 // individually completed draws (so a canceled stream contributes the work it
 // finished before aborting); Aborted counts streams ended early by context
@@ -137,13 +145,20 @@ func (e *Engine) Workers() int { return e.workers }
 // process-wide, not per-engine — it still belongs here because the engine's
 // sampling traffic is what drives it.
 type Metrics struct {
-	Graphs     int              `json:"graphs"`
-	Batches    int64            `json:"batches"`
-	Samples    int64            `json:"samples"`
-	Streams    int64            `json:"streams"`
-	Aborted    int64            `json:"aborted"`
-	PhaseCache phasecache.Stats `json:"phase_cache"`
-	MatrixPool matrix.PoolStats `json:"matrix_pool"`
+	Graphs  int   `json:"graphs"`
+	Batches int64 `json:"batches"`
+	Samples int64 `json:"samples"`
+	Streams int64 `json:"streams"`
+	Aborted int64 `json:"aborted"`
+	// StreamPool is the instantaneous state of the engine-wide stream
+	// worker pool (width, leased slots, active streams, parked acquires).
+	StreamPool StreamPoolMetrics `json:"stream_pool"`
+	// StreamsByGraph breaks the active streams down per graph key:
+	// active-stream and delivery-queue-depth gauges for each graph with at
+	// least one stream in flight (absent when the engine is idle).
+	StreamsByGraph map[string]GraphStreamMetrics `json:"streams_by_graph,omitempty"`
+	PhaseCache     phasecache.Stats              `json:"phase_cache"`
+	MatrixPool     matrix.PoolStats              `json:"matrix_pool"`
 }
 
 // Metrics returns a snapshot of the engine's counters. With a global phase
@@ -159,6 +174,7 @@ func (e *Engine) Metrics() Metrics {
 		Aborted:    e.aborted.Load(),
 		MatrixPool: matrix.ReadPoolStats(),
 	}
+	m.StreamPool, m.StreamsByGraph = e.sched.snapshot()
 	if e.sharedCache != nil {
 		m.PhaseCache = e.sharedCache.Stats()
 		return m

@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrStreamLimit marks a stream rejected because its graph already has the
+// engine's configured maximum of concurrent streams (Options.MaxStreamsPerGraph)
+// in flight; serving layers map it to 429. The limit is admission control,
+// not queueing: the caller is expected to retry after one of the graph's
+// streams ends. Collect and Audit run as streams internally, so batch jobs
+// count toward (and are bounded by) the same cap.
+var ErrStreamLimit = errors.New("engine: stream limit reached")
+
+// scheduler is the engine-wide worker pool behind every Session.Stream: a
+// fixed number of slots (Options.StreamWorkers) leased to the active streams
+// by weight. A slot is held only while a sample is computing — workers hand
+// their slot back before delivering the result to the stream's bounded
+// buffer — so a stream whose consumer stalls stops competing for slots
+// instead of pinning them, and the pool's full width flows to whoever can
+// still make progress.
+//
+// Arbitration is stride scheduling: each stream lease carries a virtual
+// "pass" advanced by 1/weight per granted slot, and a freed slot goes to the
+// eligible waiter with the smallest pass. Over any contended interval each
+// stream therefore receives slot grants proportional to its weight (up to
+// its own MaxWorkers cap and demand). New leases join at the scheduler's
+// current virtual time, so a newcomer competes fairly from its arrival
+// instead of replaying the past.
+//
+// The scheduler never influences WHAT a stream computes — sample i of a
+// stream always draws from the seed stream derived from (SeedBase, i) — so
+// any weight, cap, and arrival order produces byte-identical per-index
+// output; the scheduler only reorders wall-clock completion.
+type scheduler struct {
+	mu          sync.Mutex
+	slots       int // pool width (fixed at construction)
+	free        int // slots not currently leased
+	maxPerGraph int // admission cap per graph key (0: unlimited)
+	leases      map[*streamLease]struct{}
+	perGraph    map[string]int // active stream count per graph key
+	vtime       float64        // pass of the most recent grant (join point for new leases)
+	seq         uint64         // admission order, the deterministic tie-break
+}
+
+func newScheduler(slots, maxPerGraph int) *scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	return &scheduler{
+		slots:       slots,
+		free:        slots,
+		maxPerGraph: maxPerGraph,
+		leases:      make(map[*streamLease]struct{}),
+		perGraph:    make(map[string]int),
+	}
+}
+
+// streamLease is one active stream's membership in the scheduler: its
+// weight, its concurrency cap, and the accounting of slots it currently
+// holds. The owning stream acquires a slot per in-flight sample and releases
+// it the moment computation ends.
+type streamLease struct {
+	sched  *scheduler
+	graph  string
+	weight float64
+	cap    int // max slots held at once (>= 1)
+
+	// All fields below are guarded by sched.mu.
+	granted int     // slots currently held
+	want    int     // acquires blocked waiting for a slot
+	pass    float64 // stride-scheduling virtual time
+	seq     uint64
+
+	// tokens carries grants from dispatch to blocked acquires. Buffered to
+	// cap: outstanding (granted, unconsumed) tokens never exceed the lease's
+	// concurrency cap, so dispatch never blocks sending while holding the
+	// scheduler mutex.
+	tokens chan struct{}
+
+	// results is the stream's bounded delivery buffer, recorded here only so
+	// metrics can report its depth (len is safe to read concurrently).
+	results chan SampleResult
+}
+
+// open admits a new stream on graph, or fails with ErrStreamLimit when the
+// graph is at the engine's concurrent-stream cap. weight <= 0 takes the fair
+// default 1; cap is clamped to [1, slots]. results is the stream's delivery
+// buffer, recorded for the queue-depth gauge.
+func (s *scheduler) open(graph string, weight float64, cap int, results chan SampleResult) (*streamLease, error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if cap > s.slots {
+		cap = s.slots
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxPerGraph > 0 && s.perGraph[graph] >= s.maxPerGraph {
+		return nil, fmt.Errorf("%w: graph %q already has %d streams in flight (cap %d)",
+			ErrStreamLimit, graph, s.perGraph[graph], s.maxPerGraph)
+	}
+	s.seq++
+	l := &streamLease{
+		sched:   s,
+		graph:   graph,
+		weight:  weight,
+		cap:     cap,
+		pass:    s.vtime,
+		seq:     s.seq,
+		tokens:  make(chan struct{}, cap),
+		results: results,
+	}
+	s.leases[l] = struct{}{}
+	s.perGraph[graph]++
+	return l, nil
+}
+
+// dispatch hands free slots to eligible waiters, lowest pass first. Called
+// under s.mu whenever slots free up or demand appears.
+func (s *scheduler) dispatch() {
+	for s.free > 0 {
+		var best *streamLease
+		for l := range s.leases {
+			if l.want == 0 || l.granted >= l.cap {
+				continue
+			}
+			if best == nil || l.pass < best.pass || (l.pass == best.pass && l.seq < best.seq) {
+				best = l
+			}
+		}
+		if best == nil {
+			return
+		}
+		s.free--
+		best.want--
+		best.granted++
+		// Virtual time advances to the granted lease's PRE-increment pass
+		// (the minimum among demanders): a newcomer joining at vtime then
+		// competes immediately instead of waiting out the full stride a
+		// low-weight lease just added to its own pass.
+		if best.pass > s.vtime {
+			s.vtime = best.pass
+		}
+		best.pass += 1 / best.weight
+		best.tokens <- struct{}{}
+	}
+}
+
+// acquire blocks until the lease is granted a pool slot or ctx is done.
+func (l *streamLease) acquire(ctx context.Context) error {
+	s := l.sched
+	s.mu.Lock()
+	l.want++
+	s.dispatch()
+	s.mu.Unlock()
+	select {
+	case <-l.tokens:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-l.tokens:
+			// The grant raced the cancellation; hand the slot straight back.
+			l.granted--
+			s.free++
+			s.dispatch()
+		default:
+			l.want--
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns one held slot to the pool.
+func (l *streamLease) release() {
+	s := l.sched
+	s.mu.Lock()
+	l.granted--
+	s.free++
+	s.dispatch()
+	s.mu.Unlock()
+}
+
+// close retires the lease once its stream has fully wound down (no acquires
+// in flight). Any token granted but never consumed is returned to the pool.
+func (l *streamLease) close() {
+	s := l.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		select {
+		case <-l.tokens:
+			l.granted--
+			s.free++
+		default:
+			delete(s.leases, l)
+			if s.perGraph[l.graph]--; s.perGraph[l.graph] <= 0 {
+				delete(s.perGraph, l.graph)
+			}
+			s.dispatch()
+			return
+		}
+	}
+}
+
+// StreamPoolMetrics is the scheduler-wide slice of Engine.Metrics: the
+// stream worker pool's width and instantaneous utilization.
+type StreamPoolMetrics struct {
+	// Workers is the pool width — the maximum number of samples computing
+	// at once across ALL streams (Options.StreamWorkers).
+	Workers int `json:"workers"`
+	// SlotsInUse is how many slots are currently leased to computing samples.
+	SlotsInUse int `json:"slots_in_use"`
+	// ActiveStreams is the number of streams currently holding leases.
+	ActiveStreams int `json:"active_streams"`
+	// WaitingAcquires is how many in-flight samples are parked waiting for a
+	// slot — persistent nonzero values mean the pool is the bottleneck.
+	WaitingAcquires int `json:"waiting_acquires"`
+}
+
+// GraphStreamMetrics is the per-graph slice of the stream gauges reported
+// under Metrics.StreamsByGraph (and /v1/stats).
+type GraphStreamMetrics struct {
+	// ActiveStreams is the number of this graph's streams currently open.
+	ActiveStreams int `json:"active_streams"`
+	// SlotsInUse is how many pool slots this graph's streams hold right now.
+	SlotsInUse int `json:"slots_in_use"`
+	// QueueDepth is the total number of computed results sitting in this
+	// graph's per-stream delivery buffers, not yet read by their consumers.
+	// A persistently full queue (relative to the buffer bound) identifies a
+	// slow consumer — its stream self-throttles rather than pinning slots.
+	QueueDepth int `json:"queue_depth"`
+	// WaitingAcquires is how many of this graph's samples are waiting for a
+	// pool slot.
+	WaitingAcquires int `json:"waiting_acquires"`
+}
+
+// snapshot reports pool-wide and per-graph gauges.
+func (s *scheduler) snapshot() (StreamPoolMetrics, map[string]GraphStreamMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pool := StreamPoolMetrics{
+		Workers:       s.slots,
+		SlotsInUse:    s.slots - s.free,
+		ActiveStreams: len(s.leases),
+	}
+	var byGraph map[string]GraphStreamMetrics
+	if len(s.leases) > 0 {
+		byGraph = make(map[string]GraphStreamMetrics, len(s.perGraph))
+		for l := range s.leases {
+			g := byGraph[l.graph]
+			g.ActiveStreams++
+			g.SlotsInUse += l.granted
+			g.WaitingAcquires += l.want
+			if l.results != nil {
+				g.QueueDepth += len(l.results)
+			}
+			byGraph[l.graph] = g
+			pool.WaitingAcquires += l.want
+		}
+	}
+	return pool, byGraph
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/clique"
 )
@@ -52,6 +53,19 @@ type SamplerSpec struct {
 	// debugging), not correctness. Only valid with SamplerPhase and
 	// SamplerExact, the samplers that have later-phase state.
 	NoPhaseCache bool `json:"no_phase_cache,omitempty"`
+	// Weight is the stream's share of the engine-wide worker pool when
+	// concurrent streams contend for slots: over any contended interval a
+	// stream receives slot grants proportional to its weight (0: the fair
+	// default 1.0). Weights never change WHICH tree an index produces —
+	// output bytes are a pure function of (graph, spec knobs above, seed
+	// base, index) — only how wall-clock capacity is divided. Valid for
+	// every sampler.
+	Weight float64 `json:"weight,omitempty"`
+	// MaxWorkers caps how many of this stream's samples may compute at once
+	// (0: no cap beyond the pool width). It bounds the stream's slot leases,
+	// not the pool: a lone capped stream leaves the rest of the pool idle
+	// for newcomers. Valid for every sampler.
+	MaxWorkers int `json:"max_workers,omitempty"`
 	// SimFidelity selects the simulator execution mode for the congested
 	// clique samplers: "" or "charged" (the serving default) charges the hot
 	// supersteps analytically from their communication patterns; "full"
@@ -101,6 +115,12 @@ func (s SamplerSpec) normalized() (SamplerSpec, error) {
 	}
 	if s.NoPhaseCache && s.Name != SamplerPhase && s.Name != SamplerExact {
 		return s, fmt.Errorf("engine: no_phase_cache only applies to %q and %q, not %q", SamplerPhase, SamplerExact, s.Name)
+	}
+	if s.Weight < 0 || math.IsNaN(s.Weight) || math.IsInf(s.Weight, 0) {
+		return s, fmt.Errorf("engine: stream weight must be a finite value >= 0, got %g", s.Weight)
+	}
+	if s.MaxWorkers < 0 {
+		return s, fmt.Errorf("engine: max workers must be >= 0, got %d", s.MaxWorkers)
 	}
 	if !clique.Fidelity(s.SimFidelity).Valid() {
 		return s, fmt.Errorf("engine: unknown sim fidelity %q (want %q or %q)", s.SimFidelity, clique.FidelityCharged, clique.FidelityFull)

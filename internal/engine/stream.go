@@ -20,15 +20,18 @@ type StreamRequest struct {
 	// K is the number of trees to draw.
 	K int
 	// Spec selects and configures the algorithm (zero value: the phase
-	// sampler with default knobs).
+	// sampler with default knobs), including the scheduling knobs Weight and
+	// MaxWorkers.
 	Spec SamplerSpec
 	// SeedBase derives the per-sample seeds: sample i draws from the stream
 	// prng.New(SeedBase).Split(i), so the result at each index is a pure
 	// function of (graph, Spec, SeedBase) — worker count, scheduling, and
 	// consumption order never show through.
 	SeedBase uint64
-	// Workers overrides the engine's worker-pool width for this stream
-	// (0: engine default).
+	// Workers is the pre-scheduler name for Spec.MaxWorkers, kept for
+	// compatibility: it caps this stream's concurrent slot leases
+	// (0: no cap beyond the pool width). Spec.MaxWorkers wins when both are
+	// set.
 	Workers int
 }
 
@@ -42,11 +45,16 @@ type SampleResult struct {
 }
 
 // Stream is an in-flight streaming job. Results arrive on Results() in
-// completion order — generally NOT index order — as workers finish; the
+// completion order — generally NOT index order — as slots free up; the
 // channel closes when the stream ends, after which Err reports how: nil for
 // a complete run, a context error for cancellation, or the first sampler
 // failure. A canceled stream stops dispatching new samples promptly, lets
 // in-flight ones finish, and leaves the engine reusable.
+//
+// Backpressure: each stream owns a bounded result buffer. Once it fills, the
+// stream stops leasing pool slots until the consumer catches up — a slow
+// consumer therefore throttles only its own stream, while the engine-wide
+// worker pool flows to concurrent streams that are still consuming.
 type Stream struct {
 	results chan SampleResult
 	done    chan struct{}
@@ -55,7 +63,7 @@ type Stream struct {
 
 // Results returns the channel of completed samples. It is closed when the
 // stream ends; consume it to completion (or cancel the stream's context)
-// to release the workers.
+// to release the stream's lease promptly.
 func (st *Stream) Results() <-chan SampleResult { return st.results }
 
 // Err reports how the stream ended. It blocks until the stream has ended
@@ -69,9 +77,19 @@ func (st *Stream) Err() error {
 
 // Stream launches req on the session's graph and returns the in-flight job.
 // Request validation errors (bad K, unknown sampler, misplaced knobs) are
-// returned synchronously; everything later is reported via Stream.Err. The
-// stream honors ctx: cancellation stops dispatching new samples, and the
-// results channel closes as soon as in-flight samples drain.
+// returned synchronously, as is ErrStreamLimit when the graph is already at
+// the engine's concurrent-stream cap; everything later is reported via
+// Stream.Err. The stream honors ctx: cancellation stops dispatching new
+// samples, and the results channel closes as soon as in-flight samples
+// drain.
+//
+// Concurrency is leased, not owned: every in-flight sample holds one slot of
+// the engine-wide stream worker pool (Options.StreamWorkers slots,
+// arbitrated across concurrent streams by Spec.Weight) and returns it the
+// moment computation finishes, before delivering the result. The per-stream
+// concurrency cap is Spec.MaxWorkers (or the legacy req.Workers alias);
+// unset, a lone stream may use the whole pool. None of this affects output
+// bytes — sample i is a pure function of (graph, Spec, SeedBase, i).
 func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error) {
 	if req.K < 1 {
 		return nil, fmt.Errorf("engine: batch size must be >= 1, got %d", req.K)
@@ -87,37 +105,72 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 		ctx = context.Background()
 	}
 	e := s.eng
-	workers := req.Workers
-	if workers <= 0 {
-		workers = e.workers
+	maxWorkers := spec.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = req.Workers
 	}
-	if workers > req.K {
-		workers = req.K
+	if maxWorkers <= 0 || maxWorkers > e.sched.slots {
+		maxWorkers = e.sched.slots
+	}
+	if maxWorkers > req.K {
+		maxWorkers = req.K
 	}
 
-	e.streams.Add(1)
-	base := prng.New(req.SeedBase)
+	// The delivery buffer bounds results computed but not yet consumed to
+	// twice the stream's concurrency cap: enough headroom that a consumer
+	// keeping rough pace never stalls the compute side, small enough that an
+	// abandoned consumer parks O(cap) results, not the whole batch.
+	buffer := 2 * maxWorkers
+	if buffer > req.K {
+		buffer = req.K
+	}
 	st := &Stream{
-		// A workers-deep buffer lets every worker park one finished result
-		// without blocking on the consumer.
-		results: make(chan SampleResult, workers),
+		results: make(chan SampleResult, buffer),
 		done:    make(chan struct{}),
 	}
+	lease, err := e.sched.open(s.ent.key, spec.Weight, maxWorkers, st.results)
+	if err != nil {
+		return nil, err
+	}
+	e.streams.Add(1)
+	base := prng.New(req.SeedBase)
 
 	ctx, cancel := context.WithCancel(ctx)
-	jobs := make(chan int)
-	errc := make(chan error, workers)
+	// inflight gates the feeder on delivery capacity: a sample may only
+	// launch when a buffer slot is reserved for its result, so a stream
+	// whose consumer stalls stops acquiring pool slots once the buffer
+	// fills instead of piling up blocked workers.
+	inflight := make(chan struct{}, buffer)
+	errc := make(chan error, 1)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
+
+	go func() {
+	feed:
+		for i := 0; i < req.K; i++ {
+			select {
+			case inflight <- struct{}{}:
+			case <-ctx.Done():
+				break feed
+			}
+			if err := lease.acquire(ctx); err != nil {
+				<-inflight
+				break feed
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-inflight }()
 				// The per-sample stream depends only on (SeedBase, i); Split
-				// re-derives it independently of this worker's history.
+				// re-derives it independently of scheduling history.
 				tree, cs, err := e.sampleOne(s.ent, spec, base.Split(uint64(i)))
+				// The pool slot covers computation only: hand it back before
+				// delivery so a slow consumer cannot pin pool width.
+				lease.release()
 				if err != nil {
-					errc <- fmt.Errorf("%w: sample %d of %q: %v", ErrSampleFailed, i, s.ent.key, err)
+					select {
+					case errc <- fmt.Errorf("%w: sample %d of %q: %v", ErrSampleFailed, i, s.ent.key, err):
+					default:
+					}
 					cancel()
 					return
 				}
@@ -129,24 +182,11 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 				case st.results <- res:
 					e.samples.Add(1)
 				case <-ctx.Done():
-					return
 				}
-			}
-		}()
-	}
-
-	go func() {
-		defer cancel()
-	feed:
-		for i := 0; i < req.K; i++ {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				break feed
-			}
+			}(i)
 		}
-		close(jobs)
 		wg.Wait()
+		lease.close()
 		select {
 		case err := <-errc:
 			st.err = err
@@ -157,6 +197,7 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 				e.aborted.Add(1)
 			}
 		}
+		cancel()
 		close(st.done)
 		close(st.results)
 	}()

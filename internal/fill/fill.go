@@ -1,21 +1,3 @@
-// Package fill implements the paper's sequential top-down walk filling
-// algorithms, the conceptual core from which the distributed sampler is
-// built:
-//
-//   - SampleWalk (Outline 1, §2.1.1, Lemma 1): sample the endpoint of a
-//     length-l walk from the l-th transition matrix power, then recursively
-//     fill midpoints by Bayes' rule until every position is determined.
-//   - SampleTruncatedWalk (§2.1.2, Lemma 2): the same level-by-level
-//     filling, but after each level the partial walk is truncated at the
-//     first occurrence of the rho-th distinct vertex, so the walk ends at
-//     the stopping time τ = min(l, T_rho).
-//
-// Both operate on an arbitrary transition matrix (graph walks in phase 1,
-// Schur complement walks afterwards) through a dyadic power table. Partial
-// walks are dense grids: at the start of level i the filled positions are
-// exactly the multiples of the current spacing l/2^(i-1) up to the current
-// target length, which is the representation the paper's truncation
-// argument relies on (every truncation point is a grid index).
 package fill
 
 import (

@@ -1,0 +1,14 @@
+// Package graph implements the weighted undirected graphs that every
+// algorithm in this repository walks on, together with the graph families
+// the paper's analysis singles out (expanders and G(n,p) with O(n log n)
+// cover time, the dense irregular K_{n-sqrt(n),sqrt(n)} example from §1.2,
+// and high-cover-time families such as paths and lollipops used to stress
+// truncation and shortcutting).
+//
+// Vertices are integers 0..n-1; this matches the congested clique
+// convention that machine i hosts vertex i (§1.6). Graphs are simple
+// (no self-loops, no parallel edges) with strictly positive edge weights.
+// Unweighted graphs are weight-1 graphs; the Schur complement construction
+// (internal/schur) produces genuinely weighted instances, exactly as in the
+// paper's later phases.
+package graph

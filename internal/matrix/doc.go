@@ -1,0 +1,11 @@
+// Package matrix implements the dense linear algebra substrate of the
+// reproduction: matrix products and powers (with the bounded-precision
+// truncation of the paper's Lemma 7), Gaussian elimination and Schur-style
+// block solves, determinants (floating point and exact big-integer, the
+// latter powering Matrix-Tree ground truth), and the permanent via Ryser's
+// formula (the counting core of weighted perfect matching sampling, §1.8).
+//
+// Matrices are dense, row-major float64. The sizes in this repository are
+// n x n for graphs up to a few hundred vertices, so cache-aware loop ordering
+// is sufficient; no SIMD or blocking heroics are attempted.
+package matrix

@@ -1,0 +1,32 @@
+// Package phasecache memoizes the later-phase algebraic state of the
+// Theorem 1 sampler: for each phase, the walk runs on Schur(G, S) for the
+// phase's vertex subset S, and building that state — the Schur transition
+// matrix, the shortcut transition matrix Q, and the dyadic power table
+// P, P^2, ..., P^l — is the numeric bulk of the phase (Corollaries 2-3:
+// O(log(n^3/δ)) repeated squarings each). PR 1 made phase 0 warm-cacheable
+// because phase 0 always walks the full vertex set; this package generalizes
+// the idea to every phase by keying the cached triple on the subset itself.
+//
+// Hits arise wherever two phase executions share a subset: repeated batches
+// with the same seed base (idempotent retries, replays, audit-after-sample),
+// Las Vegas walk extensions (the exact sampler re-enters the same subset once
+// per extension segment), and any pair of concurrent samples whose visited
+// prefixes coincide. The cache is shared by all of a graph entry's Sessions
+// and stream workers; with an engine-wide budget (scoped keys), ONE cache is
+// shared across every registered graph without ever sharing state between
+// scopes.
+//
+// # Contract: byte-identical outputs and replayed charges
+//
+// An Entry is a pure function of (graph, config, subset). Entries are only
+// ever populated from the cold path's own output under the local (mm.Fast)
+// backend, whose matrix products are deterministic sequential float64 code —
+// so a hit returns bit-identical matrices to what recomputation would
+// produce, and cached sampling is byte-identical to cold sampling per
+// (seed, index). Round accounting on a hit is replayed by the caller (see
+// core.newPhaseRunner and mm.ReplayDyadicTable) so Stats also match exactly:
+// the cache may change throughput, never a single output byte.
+//
+// The cache is a byte-bounded, concurrency-safe LRU. Entries are immutable
+// after Put; readers share them without copying.
+package phasecache

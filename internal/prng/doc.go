@@ -1,0 +1,10 @@
+// Package prng provides the deterministic randomness substrate used by every
+// algorithm in this repository.
+//
+// All samplers, simulators and experiments draw their randomness from a
+// seeded, splittable Source so that every test, benchmark and experiment run
+// is exactly reproducible. The package also implements the t-wise independent
+// polynomial hash family that the paper's load-balanced doubling algorithm
+// (Section 3, footnote 4) relies on, and the weighted-sampling primitives
+// (linear and alias-table) used for midpoint and edge sampling.
+package prng

@@ -1,21 +1,3 @@
-// Package schur implements the two derivative graphs at the heart of the
-// paper's phase structure (§1.7):
-//
-//   - Schur(G, S): the Schur complement graph on a vertex subset S
-//     (Definitions 1 and 2). A random walk on Schur(G, S) looks exactly like
-//     a random walk on G watched only on S, which is how later phases skip
-//     vertices visited in earlier phases.
-//   - ShortCut(G, S): the shortcut graph (Definition 3), whose transition
-//     matrix Q gives the distribution of the last vertex visited before the
-//     walk (re-)enters S. Q is what recovers first-visit edges in G from a
-//     walk taken on Schur(G, S) (Algorithm 4, §2.2).
-//
-// Both graphs are computed two ways: exactly, via block linear algebra on
-// the absorbing chain (the ground-truth implementation used by the sampler),
-// and iteratively, via the repeated squaring of the augmented chain that the
-// paper uses to bound the congested clique cost (Corollaries 2 and 3). The
-// two implementations agree to the iteration's error bound, and the test
-// suite checks that.
 package schur
 
 import (

@@ -1,8 +1,3 @@
-// Package spanning provides spanning tree types, exact tree counting and
-// enumeration, and the uniformity audit harness used to check every sampler
-// in this repository against the paper's accuracy claims (Theorem 1,
-// Lemma 6: output within total variation ε of the uniform distribution on
-// spanning trees).
 package spanning
 
 import (

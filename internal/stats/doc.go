@@ -1,0 +1,6 @@
+// Package stats provides the statistical machinery used to audit the
+// reproduction against the paper's claims: empirical distributions over
+// sampled spanning trees, total variation distance (the paper's accuracy
+// metric, Theorem 1 and Lemma 6), chi-square goodness of fit, and log-log
+// power-law fitting for round-complexity scaling experiments (E1, E3, E8).
+package stats

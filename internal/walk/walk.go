@@ -1,8 +1,3 @@
-// Package walk implements random walks on weighted graphs: single steps,
-// full trajectories, cover walks, and estimators for the cover time, the
-// quantity that governs the paper's walk length choices (l = Θ̃(n³) comes
-// from the O(n³) worst-case cover time of unweighted graphs, §2.1) and the
-// round complexity of Corollary 1 (trees in Õ(τ/n) rounds for cover time τ).
 package walk
 
 import (

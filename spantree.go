@@ -104,11 +104,13 @@ func Expander(n int, seed uint64) (*Graph, error) {
 
 // options collects the Sample configuration; see the With* constructors.
 type options struct {
-	seed         uint64
-	cfg          core.Config
-	segLen       int
-	treePath     bool
-	cacheTotalMB int
+	seed          uint64
+	cfg           core.Config
+	segLen        int
+	treePath      bool
+	cacheTotalMB  int
+	streamWorkers int
+	maxStreams    int
 }
 
 // Option configures the samplers.
@@ -222,6 +224,39 @@ func WithPhaseCacheMB(mb int) Option {
 func WithPhaseCacheTotalMB(mb int) Option {
 	return func(o *options) error {
 		o.cacheTotalMB = mb
+		return nil
+	}
+}
+
+// WithStreamWorkers sets the width of an Engine's stream worker pool — the
+// maximum number of samples computing at once across ALL concurrent streams
+// (default: the engine's worker count, i.e. GOMAXPROCS unless overridden).
+// Slots are leased to active streams by weight (see SamplerSpec.Weight); a
+// single stream may use the whole pool when nothing else is running.
+// Engine-only; one-shot samplers ignore it.
+func WithStreamWorkers(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("spantree: stream workers must be >= 0, got %d", n)
+		}
+		o.streamWorkers = n
+		return nil
+	}
+}
+
+// WithMaxStreamsPerGraph caps how many streams may be in flight per
+// registered graph at once; Session.Stream beyond the cap fails
+// synchronously with ErrStreamLimit (HTTP 429 from spantreed). Collect and
+// Audit run as streams internally, so batch jobs — including spantreed's
+// /v1/sample and /v1/audit — count toward the same cap; Session.Sample
+// does not. 0 (the default) means unlimited. Engine-only; one-shot
+// samplers ignore it.
+func WithMaxStreamsPerGraph(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("spantree: max streams per graph must be >= 0, got %d", n)
+		}
+		o.maxStreams = n
 		return nil
 	}
 }
@@ -433,8 +468,10 @@ func TreeWeight(g *Graph, t *Tree) (float64, error) {
 // Engine is the concurrent sampling engine: a registry of graphs with
 // cached per-graph precomputation (the phase-0 power table a cold Sample
 // rebuilds on every call, plus a bounded later-phase state cache shared by
-// all of a graph's sessions) and a worker pool executing streaming jobs with
-// deterministic per-sample seed derivation. Construct with NewEngine,
+// all of a graph's sessions) and a shared weighted stream scheduler
+// executing streaming jobs with deterministic per-sample seed derivation
+// (WithStreamWorkers / WithMaxStreamsPerGraph at the engine, Weight /
+// MaxWorkers per request). Construct with NewEngine,
 // Register graphs, then Open a Session per graph and Stream/Collect/Audit
 // batches on it; see internal/engine for the full method set (Register,
 // RegisterFamily, Open, TreeCount, Metrics, ...). cmd/spantreed serves this
@@ -470,12 +507,22 @@ type GraphInfo = engine.GraphInfo
 // ErrUnknownGraph marks lookups of unregistered keys (HTTP 404);
 // ErrUnknownSampler marks requests naming a sampler the engine doesn't know
 // (HTTP 400); ErrSampleFailed marks a batch aborted by a sampler's runtime
-// failure on a well-formed request (HTTP 500).
+// failure on a well-formed request (HTTP 500); ErrStreamLimit marks a stream
+// rejected because its graph is at the WithMaxStreamsPerGraph cap (HTTP 429).
 var (
 	ErrUnknownGraph   = engine.ErrUnknownGraph
 	ErrUnknownSampler = engine.ErrUnknownSampler
 	ErrSampleFailed   = engine.ErrSampleFailed
+	ErrStreamLimit    = engine.ErrStreamLimit
 )
+
+// StreamPoolMetrics reports the engine-wide stream worker pool's width and
+// instantaneous utilization (EngineMetrics.StreamPool).
+type StreamPoolMetrics = engine.StreamPoolMetrics
+
+// GraphStreamMetrics reports one graph's active-stream and delivery-queue
+// gauges (EngineMetrics.StreamsByGraph).
+type GraphStreamMetrics = engine.GraphStreamMetrics
 
 // NewEngine returns a batch-sampling engine. workers <= 0 defaults the pool
 // width to GOMAXPROCS. The options configure the phase and exact samplers
@@ -486,5 +533,11 @@ func NewEngine(workers int, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.New(engine.Options{Workers: workers, Config: o.cfg, PhaseCacheTotalMB: o.cacheTotalMB}), nil
+	return engine.New(engine.Options{
+		Workers:            workers,
+		Config:             o.cfg,
+		PhaseCacheTotalMB:  o.cacheTotalMB,
+		StreamWorkers:      o.streamWorkers,
+		MaxStreamsPerGraph: o.maxStreams,
+	}), nil
 }
