@@ -5,7 +5,10 @@
 //     whose leading comment is a proper "// Package <name> ..." godoc
 //     comment (the layer map in ARCHITECTURE.md points at these);
 //   - relative links in the repo's markdown docs must resolve to files
-//     that exist, so the docs cannot silently rot as files move.
+//     that exist, so the docs cannot silently rot as files move;
+//   - every internal package must appear in ARCHITECTURE.md's layer map
+//     (as "internal/<name>"), so a new subsystem cannot land without a
+//     place in the documented architecture.
 //
 // Usage:
 //
@@ -30,6 +33,7 @@ func main() {
 	var failures []string
 	failures = append(failures, checkDocFiles(*root)...)
 	failures = append(failures, checkMarkdownLinks(*root)...)
+	failures = append(failures, checkLayerMap(*root)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "docslint:", f)
@@ -61,6 +65,29 @@ func checkDocFiles(root string) []string {
 		}
 		if !strings.HasPrefix(string(data), "// Package "+name) {
 			failures = append(failures, fmt.Sprintf("internal/%s/doc.go: must start with a %q godoc comment", name, "// Package "+name))
+		}
+	}
+	return failures
+}
+
+// checkLayerMap requires every internal Go package to be mentioned as
+// "internal/<name>" in ARCHITECTURE.md, which holds the repo's layer map.
+func checkLayerMap(root string) []string {
+	arch, err := os.ReadFile(filepath.Join(root, "ARCHITECTURE.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("ARCHITECTURE.md: %v", err)}
+	}
+	dirs, _ := filepath.Glob(filepath.Join(root, "internal", "*"))
+	sort.Strings(dirs)
+	var failures []string
+	for _, dir := range dirs {
+		srcs, _ := filepath.Glob(filepath.Join(dir, "*.go"))
+		if len(srcs) == 0 {
+			continue
+		}
+		name := filepath.Base(dir)
+		if !strings.Contains(string(arch), "internal/"+name) {
+			failures = append(failures, fmt.Sprintf("ARCHITECTURE.md: layer map does not mention internal/%s", name))
 		}
 	}
 	return failures

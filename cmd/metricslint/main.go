@@ -1,0 +1,95 @@
+// Command metricslint validates the daemon's observability surfaces from
+// stdin, so CI's metrics-smoke step can pipe a live scrape straight into a
+// gate instead of grepping for magic strings:
+//
+//	curl -fsS localhost:8080/metrics | go run ./cmd/metricslint
+//	curl -fsS localhost:8080/v1/traces | go run ./cmd/metricslint -mode traces -require-id smoke-1
+//
+// In the default "exposition" mode stdin must be well-formed Prometheus text
+// exposition (version 0.0.4): TYPE lines precede their samples, histogram
+// buckets are cumulative, monotone, and end in a +Inf bucket that equals
+// _count. In "traces" mode stdin must be the /v1/traces JSON document; with
+// -require-id the named trace must be present and complete, and must carry
+// at least one clique superstep span with both charged rounds and words —
+// the paper's cost model staying auditable end to end.
+//
+// Exits nonzero with a diagnostic on the first violation; prints a one-line
+// summary when clean.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	mode := flag.String("mode", "exposition", "what stdin holds: exposition or traces")
+	requireID := flag.String("require-id", "", "traces mode: fail unless this trace ID is present and complete")
+	flag.Parse()
+	var err error
+	switch *mode {
+	case "exposition":
+		err = lintExposition()
+	case "traces":
+		err = lintTraces(*requireID)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want exposition or traces)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func lintExposition() error {
+	families, err := obs.ValidateExposition(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if families == 0 {
+		return fmt.Errorf("exposition is empty: no metric families")
+	}
+	fmt.Printf("metricslint: exposition ok (%d metric families)\n", families)
+	return nil
+}
+
+func lintTraces(requireID string) error {
+	var doc struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
+		return fmt.Errorf("decoding traces document: %v", err)
+	}
+	if requireID == "" {
+		fmt.Printf("metricslint: traces ok (%d traces)\n", len(doc.Traces))
+		return nil
+	}
+	for _, tr := range doc.Traces {
+		if tr.ID != requireID {
+			continue
+		}
+		if !tr.Complete {
+			return fmt.Errorf("trace %q is present but not complete", requireID)
+		}
+		supersteps := 0
+		for _, sp := range tr.Spans {
+			if _, hasWords := sp.Attrs["words"]; !hasWords {
+				continue
+			}
+			if _, hasRounds := sp.Attrs["rounds"]; !hasRounds {
+				return fmt.Errorf("trace %q: superstep span %q carries words but no rounds", requireID, sp.Name)
+			}
+			supersteps++
+		}
+		if supersteps == 0 {
+			return fmt.Errorf("trace %q has no superstep spans with charged words", requireID)
+		}
+		fmt.Printf("metricslint: trace %q ok (%d spans, %d supersteps)\n", requireID, len(tr.Spans), supersteps)
+		return nil
+	}
+	return fmt.Errorf("trace %q not found among %d traces", requireID, len(doc.Traces))
+}

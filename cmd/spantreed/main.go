@@ -15,10 +15,12 @@
 // result buffer and its slots flow to faster streams instead of being
 // pinned. -max-streams-per-graph bounds concurrent sampling jobs per graph
 // — /v1/sample and /v1/audit batches run as streams internally and count
-// toward the cap too — and the excess request is rejected with 429. Per-graph active-stream and
-// queue-depth gauges appear under /v1/stats. None of this changes response
-// bytes: the tree at index i is a pure function of (graph, sampler spec,
-// seed_base, i) at any weight, worker count, or consumption order.
+// toward the cap too — and the excess request is rejected with 429, a
+// Retry-After header, and a JSON body carrying the graph's current stream
+// and queue gauges. Per-graph active-stream and queue-depth gauges appear
+// under /v1/stats. None of this changes response bytes: the tree at index i
+// is a pure function of (graph, sampler spec, seed_base, i) at any weight,
+// worker count, or consumption order.
 //
 // -phase-cache-mb bounds each graph's later-phase state cache (Schur,
 // shortcut, and power-table triples keyed by phase subset; hits skip the
@@ -31,9 +33,24 @@
 // set "sim_fidelity": "full" to audit the charged simulator fast path —
 // responses are byte-identical to the default charged mode.
 //
+// Observability: every request gets a request ID (propagated from an
+// X-Request-ID header when the client sends one, generated otherwise),
+// echoed in the response header and in the structured key=value request log.
+// Requests carrying an explicit X-Request-ID are always traced end to end —
+// HTTP handling, engine scheduling, and every simulated clique superstep
+// with its charged rounds/words — and the trace is retrievable from
+// /v1/traces by that ID; other requests are trace-sampled at the
+// -trace-every rate. GET /metrics serves the Prometheus text exposition
+// (counters, gauges, and latency histograms; no external dependencies);
+// -pprof additionally mounts net/http/pprof under /debug/pprof/. All of it
+// is pure observation: tracing and metrics never feed back into sampling,
+// so responses are byte-identical at any observability setting.
+//
 // Endpoints:
 //
 //	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus text exposition
+//	GET    /v1/traces            recent request traces as JSON (?limit=N)
 //	GET    /v1/graphs            list registered graphs
 //	POST   /v1/graphs            register: {"key","family","n","seed"} or {"key","n","edges":[[u,v,w?],...]}
 //	GET    /v1/graphs/{key}        one graph's info
@@ -57,15 +74,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	spantree "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -83,6 +105,9 @@ func run() error {
 		maxStreams    = flag.Int("max-streams-per-graph", 0, "max concurrent sampling jobs per graph (streams AND /v1/sample | /v1/audit batches); excess requests get 429 (0: unlimited)")
 		cacheMB       = flag.Int("phase-cache-mb", 0, "per-graph later-phase state cache budget in MB (0: default, negative: disabled)")
 		cacheTotalMB  = flag.Int("phase-cache-total-mb", 0, "global later-phase cache budget in MB shared across all graphs (0: per-graph budgets)")
+		traceEvery    = flag.Int("trace-every", 0, "trace 1 in every N unlabeled requests (0: default 1/64, negative: only X-Request-ID requests)")
+		traceRing     = flag.Int("trace-ring", 0, "recent traces retained for /v1/traces (0: default 64)")
+		pprofEnabled  = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -90,11 +115,16 @@ func run() error {
 		spantree.WithPhaseCacheMB(*cacheMB),
 		spantree.WithPhaseCacheTotalMB(*cacheTotalMB),
 		spantree.WithStreamWorkers(*streamWorkers),
-		spantree.WithMaxStreamsPerGraph(*maxStreams))
+		spantree.WithMaxStreamsPerGraph(*maxStreams),
+		spantree.WithTraceSampling(*traceEvery),
+		spantree.WithTraceRing(*traceRing))
 	if err != nil {
 		return err
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := newServer(eng)
+	srv.log = logger
+	srv.pprof = *pprofEnabled
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -106,7 +136,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("spantreed listening on %s (workers=%d, stream workers=%d)", *addr, eng.Workers(), eng.StreamWorkers())
+		logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "stream_workers", eng.StreamWorkers(), "pprof", *pprofEnabled)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -117,27 +147,78 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("spantreed shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	return httpSrv.Shutdown(shutCtx)
 }
 
+// endpointLabels enumerates the route patterns the per-endpoint latency
+// histograms are keyed by (bounded cardinality: paths with a key segment
+// collapse onto their pattern, anything unrecognized onto "other").
+var endpointLabels = []string{
+	"/healthz",
+	"/metrics",
+	"/v1/traces",
+	"/v1/graphs",
+	"/v1/graphs/{key}",
+	"/v1/graphs/{key}/stream",
+	"/v1/sample",
+	"/v1/audit",
+	"/v1/stats",
+	"other",
+}
+
+// endpointLabel maps a request path onto its route pattern by hand (the
+// toolchain pin predates http.Request.Pattern).
+func endpointLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/metrics", "/v1/traces", "/v1/graphs", "/v1/sample", "/v1/audit", "/v1/stats":
+		return p
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/graphs/"); ok && rest != "" {
+		if strings.HasSuffix(rest, "/stream") {
+			return "/v1/graphs/{key}/stream"
+		}
+		if !strings.Contains(rest, "/") {
+			return "/v1/graphs/{key}"
+		}
+	}
+	return "other"
+}
+
 // server wires the engine to HTTP handlers and tracks request metrics.
 type server struct {
 	eng      *spantree.Engine
+	log      *slog.Logger
+	pprof    bool
 	started  time.Time
 	requests atomic.Int64
 	errors   atomic.Int64
+	// latEndpoint holds one request-latency histogram per route pattern,
+	// fully populated at construction so reads are lock-free.
+	latEndpoint map[string]*obs.Histogram
 }
 
 func newServer(eng *spantree.Engine) *server {
-	return &server{eng: eng, started: time.Now()}
+	s := &server{
+		eng:         eng,
+		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+		started:     time.Now(),
+		latEndpoint: make(map[string]*obs.Histogram, len(endpointLabels)),
+	}
+	for _, ep := range endpointLabels {
+		s.latEndpoint[ep] = obs.NewHistogram()
+	}
+	return s
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	mux.HandleFunc("GET /v1/graphs/{key}", s.handleGetGraph)
@@ -146,18 +227,87 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/sample", s.handleSample)
 	mux.HandleFunc("POST /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return s.count(mux)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
 }
 
-// count is the metrics middleware: every request bumps the counter, every
-// non-2xx response the error counter.
-func (s *server) count(next http.Handler) http.Handler {
+// reqInfo is the per-request context record: the request ID plus the graph
+// key and sampler name the handler resolves, folded into the completion log
+// line.
+type reqInfo struct {
+	id      string
+	graph   string
+	sampler string
+}
+
+type reqInfoKey struct{}
+
+// requestInfo returns the request's info record (always present under the
+// instrument middleware; a zero record outside it, so handlers never branch).
+func requestInfo(r *http.Request) *reqInfo {
+	if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return info
+	}
+	return &reqInfo{}
+}
+
+// instrument is the observability middleware: request/error counters, the
+// per-endpoint latency histogram, request-ID assignment (propagated from
+// X-Request-ID, generated otherwise), end-to-end tracing — forced for
+// requests carrying an explicit ID, so a client can always get the trace it
+// asks for — and the structured completion log line.
+func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		start := time.Now()
+		endpoint := endpointLabel(r)
+		info := &reqInfo{id: r.Header.Get("X-Request-ID")}
+		var tr *spantree.Trace
+		if info.id != "" {
+			tr = s.eng.Tracer().StartForced(r.Method+" "+endpoint, info.id)
+		} else {
+			info.id = s.eng.Tracer().NewID()
+		}
+		w.Header().Set("X-Request-ID", info.id)
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
+		if tr != nil {
+			ctx = spantree.TraceContext(ctx, tr)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		if tr != nil {
+			tr.Finish()
+		}
+		dur := time.Since(start)
+		s.latEndpoint[endpoint].Observe(dur)
 		if rec.status >= 400 {
 			s.errors.Add(1)
+		}
+		attrs := []any{
+			"id", info.id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(dur.Microseconds()) / 1000,
+		}
+		if info.graph != "" {
+			attrs = append(attrs, "graph", info.graph)
+		}
+		if info.sampler != "" {
+			attrs = append(attrs, "sampler", info.sampler)
+		}
+		if rec.status >= 500 {
+			s.log.Error("request", attrs...)
+		} else if rec.status >= 400 {
+			s.log.Warn("request", attrs...)
+		} else {
+			s.log.Info("request", attrs...)
 		}
 	})
 }
@@ -172,11 +322,11 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("spantreed: encoding response: %v", err)
+		s.log.Error("encoding response", "id", requestInfo(r).id, "path", r.URL.Path, "err", err)
 	}
 }
 
@@ -184,8 +334,33 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func (s *server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, r, status, errorBody{Error: err.Error()})
+}
+
+// streamRejection is the 429 body: the error plus the graph's current
+// congestion gauges, so a client can tell an overloaded graph from a stuck
+// consumer and back off accordingly.
+type streamRejection struct {
+	Error             string `json:"error"`
+	Graph             string `json:"graph"`
+	ActiveStreams     int    `json:"active_streams"`
+	QueueDepth        int    `json:"queue_depth"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// writeStreamRejected writes the ErrStreamLimit response: 429 with a
+// Retry-After header and the rejected graph's stream gauges.
+func (s *server) writeStreamRejected(w http.ResponseWriter, r *http.Request, key string, err error) {
+	gm := s.eng.Metrics().StreamsByGraph[key]
+	w.Header().Set("Retry-After", "1")
+	s.writeJSON(w, r, http.StatusTooManyRequests, streamRejection{
+		Error:             err.Error(),
+		Graph:             key,
+		ActiveStreams:     gm.ActiveStreams,
+		QueueDepth:        gm.QueueDepth,
+		RetryAfterSeconds: 1,
+	})
 }
 
 // statusFor maps engine errors onto HTTP statuses: unknown-graph lookups
@@ -207,8 +382,101 @@ func statusFor(err error) int {
 	}
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the Prometheus text exposition: server request
+// counters and per-endpoint latency, engine batch/stream counters, stream
+// pool and per-graph gauges, phase-cache and matrix-pool state, and the
+// engine's latency histograms — rendered by internal/obs with zero external
+// dependencies.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+
+	p.Header("spantreed_requests_total", "HTTP requests received.", "counter")
+	p.Value("spantreed_requests_total", float64(s.requests.Load()))
+	p.Header("spantreed_request_errors_total", "HTTP requests answered with status >= 400.", "counter")
+	p.Value("spantreed_request_errors_total", float64(s.errors.Load()))
+	p.Header("spantreed_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.Value("spantreed_uptime_seconds", time.Since(s.started).Seconds())
+	p.Header("spantreed_request_duration_seconds", "Request latency by route pattern.", "histogram")
+	for _, ep := range endpointLabels {
+		p.Hist("spantreed_request_duration_seconds", s.latEndpoint[ep].Snapshot(), obs.L{K: "endpoint", V: ep})
+	}
+
+	p.Header("spantree_engine_graphs", "Registered graphs.", "gauge")
+	p.Value("spantree_engine_graphs", float64(m.Graphs))
+	p.Header("spantree_engine_samples_total", "Completed tree draws.", "counter")
+	p.Value("spantree_engine_samples_total", float64(m.Samples))
+	p.Header("spantree_engine_batches_total", "Completed collect batches.", "counter")
+	p.Value("spantree_engine_batches_total", float64(m.Batches))
+	p.Header("spantree_engine_streams_total", "Streams opened.", "counter")
+	p.Value("spantree_engine_streams_total", float64(m.Streams))
+	p.Header("spantree_engine_aborted_total", "Streams ended early by cancellation or failure.", "counter")
+	p.Value("spantree_engine_aborted_total", float64(m.Aborted))
+	p.Header("spantree_traces_recorded_total", "Request traces recorded by the engine tracer.", "counter")
+	p.Value("spantree_traces_recorded_total", float64(s.eng.Tracer().Recorded()))
+
+	p.Header("spantree_stream_pool_workers", "Stream worker pool width.", "gauge")
+	p.Value("spantree_stream_pool_workers", float64(m.StreamPool.Workers))
+	p.Header("spantree_stream_pool_slots_in_use", "Pool slots currently leased to computing samples.", "gauge")
+	p.Value("spantree_stream_pool_slots_in_use", float64(m.StreamPool.SlotsInUse))
+	p.Header("spantree_stream_pool_active_streams", "Streams currently holding leases.", "gauge")
+	p.Value("spantree_stream_pool_active_streams", float64(m.StreamPool.ActiveStreams))
+	p.Header("spantree_stream_pool_waiting_acquires", "In-flight samples parked waiting for a slot.", "gauge")
+	p.Value("spantree_stream_pool_waiting_acquires", float64(m.StreamPool.WaitingAcquires))
+	if len(m.StreamsByGraph) > 0 {
+		p.Header("spantree_graph_active_streams", "Open streams by graph.", "gauge")
+		for key, gm := range m.StreamsByGraph {
+			p.Value("spantree_graph_active_streams", float64(gm.ActiveStreams), obs.L{K: "graph", V: key})
+		}
+		p.Header("spantree_graph_queue_depth", "Computed results awaiting consumers, by graph.", "gauge")
+		for key, gm := range m.StreamsByGraph {
+			p.Value("spantree_graph_queue_depth", float64(gm.QueueDepth), obs.L{K: "graph", V: key})
+		}
+	}
+
+	p.Header("spantree_phase_cache_hits_total", "Phase-cache lookups served from cache.", "counter")
+	p.Value("spantree_phase_cache_hits_total", float64(m.PhaseCache.Hits))
+	p.Header("spantree_phase_cache_misses_total", "Phase-cache lookups that fell through to a cold build.", "counter")
+	p.Value("spantree_phase_cache_misses_total", float64(m.PhaseCache.Misses))
+	p.Header("spantree_phase_cache_evictions_total", "Phase-cache entries evicted to stay under budget.", "counter")
+	p.Value("spantree_phase_cache_evictions_total", float64(m.PhaseCache.Evictions))
+	p.Header("spantree_phase_cache_bytes", "Resident phase-cache bytes.", "gauge")
+	p.Value("spantree_phase_cache_bytes", float64(m.PhaseCache.Bytes))
+	p.Header("spantree_phase_cache_capacity_bytes", "Configured phase-cache budget.", "gauge")
+	p.Value("spantree_phase_cache_capacity_bytes", float64(m.PhaseCache.CapacityBytes))
+	p.Header("spantree_phase_cache_lookup_seconds", "Phase-cache Get latency.", "histogram")
+	p.Hist("spantree_phase_cache_lookup_seconds", m.PhaseCache.Lookup)
+
+	p.Header("spantree_sample_duration_seconds", "Per-tree compute latency by sampler.", "histogram")
+	for name, snap := range m.Latency.Samplers {
+		p.Hist("spantree_sample_duration_seconds", snap, obs.L{K: "sampler", V: name})
+	}
+	p.Header("spantree_scheduler_wait_seconds", "Stream sample wait for a worker-pool slot.", "histogram")
+	p.Hist("spantree_scheduler_wait_seconds", m.Latency.SchedulerWait)
+
+	if err := p.Err(); err != nil {
+		s.log.Error("writing metrics", "id", requestInfo(r).id, "err", err)
+	}
+}
+
+// handleTraces serves the tracer's recent traces, newest first. ?limit=N
+// bounds the count (default: the whole ring).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer, got %q", q))
+			return
+		}
+		limit = n
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"traces": s.eng.Tracer().Snapshot(limit)})
 }
 
 // registerRequest admits a graph either as a named family or as an explicit
@@ -224,38 +492,39 @@ type registerRequest struct {
 func (s *server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	requestInfo(r).graph = req.Key
 	switch {
 	case req.Family != "" && len(req.Edges) > 0:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("specify family or edges, not both"))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("specify family or edges, not both"))
 		return
 	case req.Family != "":
 		if err := s.eng.RegisterFamily(req.Key, req.Family, req.N, req.Seed); err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, r, statusFor(err), err)
 			return
 		}
 	case len(req.Edges) > 0:
 		g, err := graphFromEdges(req.N, req.Edges)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		if err := s.eng.Register(req.Key, g); err != nil {
-			writeError(w, statusFor(err), err)
+			s.writeError(w, r, statusFor(err), err)
 			return
 		}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("need a family name or an edge list"))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("need a family name or an edge list"))
 		return
 	}
 	info, err := s.eng.Info(req.Key)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, info)
+	s.writeJSON(w, r, http.StatusCreated, info)
 }
 
 func graphFromEdges(n int, edges [][]float64) (*spantree.Graph, error) {
@@ -282,7 +551,7 @@ func graphFromEdges(n int, edges [][]float64) (*spantree.Graph, error) {
 	return g, nil
 }
 
-func (s *server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	keys := s.eng.Keys()
 	infos := make([]spantree.GraphInfo, 0, len(keys))
 	for _, k := range keys {
@@ -290,25 +559,28 @@ func (s *server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
 			infos = append(infos, info)
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"graphs": infos})
 }
 
 func (s *server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
-	info, err := s.eng.Info(r.PathValue("key"))
+	key := r.PathValue("key")
+	requestInfo(r).graph = key
+	info, err := s.eng.Info(key)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	s.writeJSON(w, r, http.StatusOK, info)
 }
 
 func (s *server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	requestInfo(r).graph = key
 	if !s.eng.Deregister(key) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", key))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown graph %q", key))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"deleted": key})
 }
 
 // sampleRequest is the body of /v1/sample and /v1/audit: the collect-all
@@ -362,20 +634,26 @@ func makeSampleResponse(res *spantree.BatchResult, includeTrees bool) sampleResp
 func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
 	var req sampleRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	info := requestInfo(r)
+	info.graph, info.sampler = req.Graph, req.Sampler
 	sess, err := s.eng.Open(req.Graph)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	res, err := sess.Collect(r.Context(), req.stream())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		if errors.Is(err, spantree.ErrStreamLimit) {
+			s.writeStreamRejected(w, r, req.Graph, err)
+			return
+		}
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, makeSampleResponse(res, req.IncludeTrees))
+	s.writeJSON(w, r, http.StatusOK, makeSampleResponse(res, req.IncludeTrees))
 }
 
 type auditResponse struct {
@@ -386,20 +664,26 @@ type auditResponse struct {
 func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	var req sampleRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	info := requestInfo(r)
+	info.graph, info.sampler = req.Graph, req.Sampler
 	sess, err := s.eng.Open(req.Graph)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	res, audit, err := sess.Audit(r.Context(), req.stream())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		if errors.Is(err, spantree.ErrStreamLimit) {
+			s.writeStreamRejected(w, r, req.Graph, err)
+			return
+		}
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, auditResponse{
+	s.writeJSON(w, r, http.StatusOK, auditResponse{
 		sampleResponse: makeSampleResponse(res, req.IncludeTrees),
 		Audit:          audit,
 	})
@@ -465,17 +749,24 @@ type streamLine struct {
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var req streamRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	sess, err := s.eng.Open(r.PathValue("key"))
+	key := r.PathValue("key")
+	info := requestInfo(r)
+	info.graph, info.sampler = key, req.Sampler
+	sess, err := s.eng.Open(key)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	st, err := sess.Stream(r.Context(), req.stream())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		if errors.Is(err, spantree.ErrStreamLimit) {
+			s.writeStreamRejected(w, r, key, err)
+			return
+		}
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 
@@ -515,7 +806,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !headerWritten {
 		// Nothing was delivered: the status can still tell the truth.
 		if streamErr != nil {
-			writeError(w, statusFor(streamErr), streamErr)
+			s.writeError(w, r, statusFor(streamErr), streamErr)
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -532,11 +823,19 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"engine":         s.eng.Metrics(),
-		"requests":       s.requests.Load(),
-		"request_errors": s.errors.Load(),
-		"uptime_seconds": time.Since(s.started).Seconds(),
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	latency := make(map[string]spantree.HistSnapshot)
+	for ep, h := range s.latEndpoint {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			latency[ep] = snap
+		}
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"engine":          s.eng.Metrics(),
+		"requests":        s.requests.Load(),
+		"request_errors":  s.errors.Load(),
+		"request_latency": latency,
+		"traces_recorded": s.eng.Tracer().Recorded(),
+		"uptime_seconds":  time.Since(s.started).Seconds(),
 	})
 }

@@ -251,9 +251,27 @@ func TestStreamLimit429(t *testing.T) {
 	}
 
 	second := postJSON(t, ts.URL+"/v1/graphs/c/stream", map[string]any{"k": 1, "sampler": "wilson"})
-	second.Body.Close()
 	if second.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("second concurrent stream: status %d, want 429", second.StatusCode)
+	}
+	if ra := second.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 rejection missing Retry-After header")
+	}
+	var rejection struct {
+		Error             string `json:"error"`
+		Graph             string `json:"graph"`
+		ActiveStreams     int    `json:"active_streams"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	decodeBody(t, second, &rejection)
+	if rejection.Error == "" || rejection.Graph != "c" {
+		t.Errorf("429 body incomplete: %+v", rejection)
+	}
+	if rejection.ActiveStreams != 1 {
+		t.Errorf("429 body reports %d active streams, want 1 (the stream holding the slot)", rejection.ActiveStreams)
+	}
+	if rejection.RetryAfterSeconds < 1 {
+		t.Errorf("429 body retry_after_seconds = %d", rejection.RetryAfterSeconds)
 	}
 
 	// Dropping the first stream frees the graph's slot (poll: the abort is
@@ -414,9 +432,13 @@ func TestStatsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ct := statsResp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("stats content type %q, want application/json", ct)
+	}
 	var stats struct {
-		Engine   spantree.EngineMetrics `json:"engine"`
-		Requests int64                  `json:"requests"`
+		Engine         spantree.EngineMetrics           `json:"engine"`
+		Requests       int64                            `json:"requests"`
+		RequestLatency map[string]spantree.HistSnapshot `json:"request_latency"`
 	}
 	decodeBody(t, statsResp, &stats)
 	if stats.Engine.Streams < 1 || stats.Engine.Samples < 3 {
@@ -441,6 +463,9 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if stats.Requests < 2 {
 		t.Errorf("request counter: %+v", stats)
+	}
+	if lat, ok := stats.RequestLatency["/v1/sample"]; !ok || lat.Count != 2 {
+		t.Errorf("per-endpoint latency missing from stats: %+v", stats.RequestLatency)
 	}
 }
 

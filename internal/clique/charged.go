@@ -161,6 +161,7 @@ func (p *CostPlan) AllToAll(d, wordsPer int) {
 // TotalWords, and per-step trace (MaxSend/MaxRecv/TotalWords/MaxRecvMsg) as
 // the full run — the property core's fidelity golden tests pin.
 func (s *Sim) ChargedSuperstep(name string, plan *CostPlan, local func() error) error {
+	sp := s.TraceSpan(name) // spans the local compute AND the charge
 	// local runs before the plan is read, so a step may declare its pattern
 	// while computing (the binary-search tally does: which vertices appear
 	// in a prefix is what both the messages and the result depend on).
@@ -215,6 +216,7 @@ func (s *Sim) ChargedSuperstep(name string, plan *CostPlan, local func() error) 
 			MaxRecvMsg: maxRecvMsg,
 		})
 	}
+	endStepSpan(sp, rounds, total)
 	return nil
 }
 
@@ -232,6 +234,9 @@ func (s *Sim) ChargeBroadcast(w int) error {
 	s.totalWords += int64(w * s.n)
 	if s.traceStats {
 		s.stats = append(s.stats, StepStat{Name: "broadcast", Rounds: rounds, MaxSend: w * s.n, MaxRecv: w, TotalWords: w * s.n})
+	}
+	if s.trace != nil {
+		endStepSpan(s.TraceSpan("broadcast"), rounds, int64(w*s.n))
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // parallelThreshold is the machine count below which supersteps run
@@ -92,6 +94,14 @@ type Sim struct {
 	inboxes    [][]Message
 	stats      []StepStat
 	traceStats bool
+
+	// trace, when non-nil, receives one span per superstep/broadcast/charge
+	// with the charged rounds and words attached, tagged with traceTag (the
+	// engine passes the sample index). Observation only: nothing in the
+	// simulator ever reads the trace back, so traced and untraced runs are
+	// byte-identical in outputs and accounting.
+	trace    *obs.Trace
+	traceTag int64
 }
 
 // New returns a simulator with n machines. It returns an error for n < 1.
@@ -126,6 +136,40 @@ func (s *Sim) Stats() []StepStat {
 	return out
 }
 
+// SetTrace attaches an observation trace: every subsequent superstep,
+// broadcast, and round charge records a span carrying its charged rounds and
+// words, tagged with tag (the engine uses the per-request sample index). A
+// nil tr detaches. Tracing never alters execution, charging, or randomness.
+func (s *Sim) SetTrace(tr *obs.Trace, tag int64) {
+	s.trace = tr
+	s.traceTag = tag
+}
+
+// Trace returns the attached observation trace (nil when untraced) — for
+// protocol layers that hang their own spans off the same trace.
+func (s *Sim) Trace() *obs.Trace { return s.trace }
+
+// TraceSpan opens a span on the attached trace, pre-tagged with the sample
+// tag; the inert zero Span when untraced.
+func (s *Sim) TraceSpan(name string) obs.Span {
+	if s.trace == nil {
+		return obs.Span{}
+	}
+	sp := s.trace.StartSpan(name)
+	sp.SetInt("sample", s.traceTag)
+	return sp
+}
+
+// endStepSpan closes a superstep span with its charged accounting attached.
+// Every superstep variant funnels through it, which is what makes "spans
+// with a words attribute" equal Stats.Supersteps and the rounds attributes
+// sum to Stats.Rounds — the invariant the engine's trace test pins.
+func endStepSpan(sp obs.Span, rounds int, words int64) {
+	sp.SetInt("rounds", int64(rounds))
+	sp.SetInt("words", words)
+	sp.End()
+}
+
 // N reports the number of machines.
 func (s *Sim) N() int { return s.n }
 
@@ -149,6 +193,11 @@ func (s *Sim) ChargeRounds(k int, why string) error {
 	s.rounds += k
 	if s.traceStats {
 		s.stats = append(s.stats, StepStat{Name: "charge:" + why, Rounds: k})
+	}
+	if s.trace != nil {
+		sp := s.TraceSpan("charge:" + why)
+		sp.SetInt("rounds", int64(k))
+		sp.End()
 	}
 	return nil
 }
@@ -178,6 +227,9 @@ func (s *Sim) ChargeSuperstep(name string, maxLoad int, totalWords int64) error 
 			TotalWords: int(totalWords),
 		})
 	}
+	if s.trace != nil {
+		endStepSpan(s.TraceSpan(name), rounds, totalWords)
+	}
 	return nil
 }
 
@@ -189,6 +241,7 @@ func (s *Sim) ChargeSuperstep(name string, maxLoad int, totalWords int64) error 
 // It returns the first error returned by any machine, in machine order, and
 // leaves the simulator's inboxes empty in that case.
 func (s *Sim) Superstep(name string, fn StepFunc) error {
+	sp := s.TraceSpan(name) // spans the compute AND the routing accounting
 	outs := make([][]Message, s.n)
 	errs := make([]error, s.n)
 
@@ -287,6 +340,7 @@ func (s *Sim) Superstep(name string, fn StepFunc) error {
 			MaxRecvMsg: maxRecvMsg,
 		})
 	}
+	endStepSpan(sp, rounds, int64(total))
 	return nil
 }
 
@@ -343,6 +397,9 @@ func (s *Sim) Broadcast(from, tag int, words []Word) error {
 	s.totalWords += int64(w * s.n)
 	if s.traceStats {
 		s.stats = append(s.stats, StepStat{Name: "broadcast", Rounds: rounds, MaxSend: w * s.n, MaxRecv: w, TotalWords: w * s.n})
+	}
+	if s.trace != nil {
+		endStepSpan(s.TraceSpan("broadcast"), rounds, int64(w*s.n))
 	}
 	return nil
 }

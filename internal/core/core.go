@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/schur"
@@ -37,7 +38,7 @@ func Sample(g *graph.Graph, cfg Config, src *prng.Source) (*spanning.Tree, *Stat
 	if !g.IsConnected() {
 		return nil, nil, fmt.Errorf("core: graph must be connected")
 	}
-	return sampleLoop(g, cfg, src, nil, nil)
+	return sampleLoop(g, cfg, src, nil, nil, nil, 0)
 }
 
 // sampleLoop runs the phase loop on a validated instance (n >= 2, cfg with
@@ -45,10 +46,13 @@ func Sample(g *graph.Graph, cfg Config, src *prng.Source) (*spanning.Tree, *Stat
 // cached phase-0 state of Prepare; nil recomputes everything in-simulation,
 // the original cold path. A non-nil cache additionally memoizes later-phase
 // state across samples (and across the Las Vegas extension segments of one
-// sample), with hits charge-replayed so Stats stay identical either way.
-func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, cache *phasecache.Cache) (*spanning.Tree, *Stats, error) {
+// sample), with hits charge-replayed so Stats stay identical either way. A
+// non-nil tr attaches observation spans (per phase and per superstep, tagged
+// with tag); tracing never feeds back into the run.
+func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, cache *phasecache.Cache, tr *obs.Trace, tag int64) (*spanning.Tree, *Stats, error) {
 	n := g.N()
 	sim := clique.MustNew(n)
+	sim.SetTrace(tr, tag)
 	stats := &Stats{}
 
 	visited := make([]bool, n)
@@ -62,6 +66,8 @@ func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, ca
 		if phase >= cfg.MaxPhases {
 			return nil, nil, fmt.Errorf("core: exceeded %d phases with %d of %d vertices visited", cfg.MaxPhases, visitedCount, n)
 		}
+		phaseSpan := sim.TraceSpan("core/phase")
+		phaseSpan.SetInt("phase", int64(phase))
 		// S = unvisited vertices plus the walk's current endpoint (§2.2).
 		members := make([]int, 0, n-visitedCount+1)
 		members = append(members, start)
@@ -150,6 +156,8 @@ func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, ca
 			return nil, nil, err
 		}
 		start = last
+		phaseSpan.SetInt("new_vertices", int64(len(newGlobal)))
+		phaseSpan.End()
 	}
 
 	stats.Rounds = sim.Rounds()

@@ -132,19 +132,26 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 		if warm != nil { // cache is only ever passed alongside its Prepared
 			scope = warm.cacheScope
 		}
+		// The cache span covers consult plus replay (hit) or cold build plus
+		// insert (miss) — the full latency difference the cache buys.
+		csp := sim.TraceSpan("core/phase_cache")
+		csp.SetInt("phase", int64(phaseIdx))
 		if ent, ok := cache.Get(scope, members); ok {
+			csp.SetInt("hit", 1)
 			q = ent.Shortcut
 			pd = ent.Powers
 			if err := replayPhaseCharges(sim, cfg, g.N(), maxExp, phaseIdx, pd); err != nil {
 				return nil, err
 			}
 		} else {
+			csp.SetInt("hit", 0)
 			q, pd, err = buildPhaseState(sim, g, cfg, sub, phaseIdx, maxExp)
 			if err != nil {
 				return nil, err
 			}
 			cache.Put(&phasecache.Entry{Scope: scope, Members: members, Shortcut: q, Powers: pd})
 		}
+		csp.End()
 	default:
 		q, pd, err = buildPhaseState(sim, g, cfg, sub, phaseIdx, maxExp)
 		if err != nil {

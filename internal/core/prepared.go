@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/mm"
+	"repro/internal/obs"
 	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/schur"
@@ -155,6 +156,13 @@ type SampleOpts struct {
 	// ("" keeps the configured mode). Trees and Stats are byte-identical
 	// across fidelities; the knob exists for per-request audits.
 	Fidelity clique.Fidelity
+	// Trace, when non-nil, receives observation spans for this draw: one per
+	// phase, one per clique superstep (with charged rounds/words attached),
+	// and one per phase-cache consult. TraceTag labels the spans (the engine
+	// passes the sample index). Like the knobs above, tracing never changes
+	// the tree or Stats — observation does not feed back into sampling.
+	Trace    *obs.Trace
+	TraceTag int64
 }
 
 // SampleWith is Sample with per-draw options.
@@ -163,7 +171,7 @@ func (p *Prepared) SampleWith(src *prng.Source, opts SampleOpts) (*spanning.Tree
 	if opts.NoPhaseCache {
 		cache = nil
 	}
-	return p.sample(src, cache, opts.Fidelity)
+	return p.sample(src, cache, opts.Fidelity, opts.Trace, opts.TraceTag)
 }
 
 // Graph returns the graph this state was prepared for.
@@ -179,7 +187,7 @@ func (p *Prepared) Config() Config { return p.cfg }
 // mm.ReplayDyadicTable and mm.ChargeSchurShortcutBuild), so Stats remains
 // identical to cold runs, hit or miss.
 func (p *Prepared) Sample(src *prng.Source) (*spanning.Tree, *Stats, error) {
-	return p.sample(src, p.cache, "")
+	return p.sample(src, p.cache, "", nil, 0)
 }
 
 // SampleUncached is Sample with the later-phase cache bypassed (neither read
@@ -188,10 +196,10 @@ func (p *Prepared) Sample(src *prng.Source) (*spanning.Tree, *Stats, error) {
 // and as a living proof of the cache's contract: its output and Stats are
 // byte-identical to Sample's for every seed.
 func (p *Prepared) SampleUncached(src *prng.Source) (*spanning.Tree, *Stats, error) {
-	return p.sample(src, nil, "")
+	return p.sample(src, nil, "", nil, 0)
 }
 
-func (p *Prepared) sample(src *prng.Source, cache *phasecache.Cache, fid clique.Fidelity) (*spanning.Tree, *Stats, error) {
+func (p *Prepared) sample(src *prng.Source, cache *phasecache.Cache, fid clique.Fidelity, tr *obs.Trace, tag int64) (*spanning.Tree, *Stats, error) {
 	if src == nil {
 		return nil, nil, fmt.Errorf("core: nil randomness source")
 	}
@@ -206,7 +214,7 @@ func (p *Prepared) sample(src *prng.Source, cache *phasecache.Cache, fid clique.
 	if fid != "" {
 		cfg.SimFidelity = fid
 	}
-	return sampleLoop(p.g, cfg, src, p, cache)
+	return sampleLoop(p.g, cfg, src, p, cache, tr, tag)
 }
 
 // CacheStats reports the later-phase cache's counters (the zero value when

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aldous"
 	"repro/internal/clique"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/doubling"
 	"repro/internal/graph"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/spanning"
@@ -81,6 +83,16 @@ type Options struct {
 	// Entries are scope-namespaced per (graph, sampler variant), so sharing
 	// the budget never shares state across graphs.
 	PhaseCacheTotalMB int
+	// TraceSampleEvery sets the tracer's unforced sampling period: 1 in
+	// every N engine-originated requests records a full span trace
+	// (0: obs.DefaultSampleEvery; negative: unforced sampling disabled —
+	// explicitly forced traces, e.g. HTTP requests carrying X-Request-ID,
+	// still record). Tracing is observation-only and never changes output
+	// bytes, so the knob trades trace coverage against its small overhead.
+	TraceSampleEvery int
+	// TraceRing sets how many recent traces the tracer retains for
+	// /v1/traces (0: obs.DefaultRingCapacity).
+	TraceRing int
 }
 
 // Engine is a registry of graphs plus the engine-wide weighted stream
@@ -106,6 +118,13 @@ type Engine struct {
 	streams atomic.Int64
 	aborted atomic.Int64
 
+	// tracer samples engine-originated request traces; latSampler (fixed at
+	// construction, one histogram per known sampler) and latSchedWait are the
+	// always-on latency histograms Metrics.Latency snapshots.
+	tracer       *obs.Tracer
+	latSampler   map[Sampler]*obs.Histogram
+	latSchedWait *obs.Histogram
+
 	// sampleHook, when non-nil, runs before every sample. Tests install it to
 	// make samplers deliberately slow for cancellation coverage; it must be
 	// set before the engine serves traffic.
@@ -122,13 +141,28 @@ func New(opts Options) *Engine {
 	if sw <= 0 {
 		sw = w
 	}
-	e := &Engine{workers: w, cfg: opts.Config, sched: newScheduler(sw, opts.MaxStreamsPerGraph)}
+	e := &Engine{
+		workers:      w,
+		cfg:          opts.Config,
+		sched:        newScheduler(sw, opts.MaxStreamsPerGraph),
+		tracer:       obs.NewTracer(opts.TraceSampleEvery, opts.TraceRing),
+		latSampler:   make(map[Sampler]*obs.Histogram, len(Samplers())),
+		latSchedWait: obs.NewHistogram(),
+	}
+	for _, s := range Samplers() {
+		e.latSampler[s] = obs.NewHistogram()
+	}
 	if opts.PhaseCacheTotalMB > 0 {
 		e.sharedCache = phasecache.New(int64(opts.PhaseCacheTotalMB) << 20)
 	}
 	e.reg.init()
 	return e
 }
+
+// Tracer returns the engine's trace sampler — serving layers use it to
+// force-trace requests carrying an explicit request ID and to snapshot
+// recent traces.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Workers reports the default worker-pool width.
 func (e *Engine) Workers() int { return e.workers }
@@ -159,6 +193,20 @@ type Metrics struct {
 	StreamsByGraph map[string]GraphStreamMetrics `json:"streams_by_graph,omitempty"`
 	PhaseCache     phasecache.Stats              `json:"phase_cache"`
 	MatrixPool     matrix.PoolStats              `json:"matrix_pool"`
+	// Latency is the engine's latency-histogram block (per-sampler per-tree
+	// latency and scheduler slot wait); serving layers add their per-endpoint
+	// histograms on top.
+	Latency LatencyMetrics `json:"latency"`
+}
+
+// LatencyMetrics is the engine's latency-histogram snapshot block.
+type LatencyMetrics struct {
+	// Samplers holds the per-tree compute latency histogram of every sampler
+	// that has completed at least one draw (key: sampler name).
+	Samplers map[string]obs.HistSnapshot `json:"samplers,omitempty"`
+	// SchedulerWait is the slot-wait histogram: how long stream samples
+	// waited for a worker-pool slot before computing.
+	SchedulerWait obs.HistSnapshot `json:"scheduler_wait"`
 }
 
 // Metrics returns a snapshot of the engine's counters. With a global phase
@@ -175,6 +223,15 @@ func (e *Engine) Metrics() Metrics {
 		MatrixPool: matrix.ReadPoolStats(),
 	}
 	m.StreamPool, m.StreamsByGraph = e.sched.snapshot()
+	m.Latency.SchedulerWait = e.latSchedWait.Snapshot()
+	for name, h := range e.latSampler {
+		if s := h.Snapshot(); s.Count > 0 {
+			if m.Latency.Samplers == nil {
+				m.Latency.Samplers = make(map[string]obs.HistSnapshot)
+			}
+			m.Latency.Samplers[string(name)] = s
+		}
+	}
 	if e.sharedCache != nil {
 		m.PhaseCache = e.sharedCache.Stats()
 		return m
@@ -189,28 +246,45 @@ func (e *Engine) Metrics() Metrics {
 // reusing the entry's cached precomputation where the sampler has any. The
 // spec must be normalized. The returned Stats is zero-valued for the
 // sequential baselines, which run outside the simulated clique.
-func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source) (*spanning.Tree, *core.Stats, error) {
+//
+// Observation: the draw's compute time lands in the per-sampler latency
+// histogram, and when tr is non-nil the draw records an "engine/sample"
+// span (tagged idx, the request's sample index) plus the per-phase and
+// per-superstep spans the lower layers hang off the same trace. None of
+// that feeds back into the draw — output bytes are unchanged by tracing.
+func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source, tr *obs.Trace, idx int) (*spanning.Tree, *core.Stats, error) {
 	if e.sampleHook != nil {
 		e.sampleHook()
 	}
+	start := time.Now()
+	sp := tr.StartSpan("engine/sample")
+	sp.SetInt("sample", int64(idx))
+	defer func() {
+		e.latSampler[spec.Name].Observe(time.Since(start))
+		sp.End()
+	}()
 	switch spec.Name {
 	case SamplerPhase:
-		prep, err := ent.prepared(e)
+		prep, err := ent.preparedTraced(e, tr)
 		if err != nil {
 			return nil, nil, err
 		}
 		return prep.SampleWith(src, core.SampleOpts{
 			NoPhaseCache: spec.NoPhaseCache,
 			Fidelity:     clique.Fidelity(spec.SimFidelity),
+			Trace:        tr,
+			TraceTag:     int64(idx),
 		})
 	case SamplerExact:
-		prep, err := ent.preparedExact(e)
+		prep, err := ent.preparedExactTraced(e, tr)
 		if err != nil {
 			return nil, nil, err
 		}
 		return prep.SampleWith(src, core.SampleOpts{
 			NoPhaseCache: spec.NoPhaseCache,
 			Fidelity:     clique.Fidelity(spec.SimFidelity),
+			Trace:        tr,
+			TraceTag:     int64(idx),
 		})
 	case SamplerLowCover:
 		// Like phase/exact (whose Prepared keeps the engine Config when the

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/phasecache"
 	"repro/internal/prng"
 	"repro/internal/spanning"
@@ -77,6 +78,25 @@ func (ent *entry) preparedExact(e *Engine) (*core.Prepared, error) {
 		}
 	})
 	return ent.exact.Load(), ent.exactErr
+}
+
+// preparedTraced is prepared wrapped in an "engine/prepare" span: on the
+// first draw of a graph it captures the full core.Prepare cost (phase-0
+// matrix squarings); on warm entries it is near-zero, documenting that the
+// precomputation was reused. The inert zero Span makes untraced calls free.
+func (ent *entry) preparedTraced(e *Engine, tr *obs.Trace) (*core.Prepared, error) {
+	sp := tr.StartSpan("engine/prepare")
+	p, err := ent.prepared(e)
+	sp.End()
+	return p, err
+}
+
+// preparedExactTraced is preparedTraced for the exact variant.
+func (ent *entry) preparedExactTraced(e *Engine, tr *obs.Trace) (*core.Prepared, error) {
+	sp := tr.StartSpan("engine/prepare")
+	p, err := ent.preparedExact(e)
+	sp.End()
+	return p, err
 }
 
 // cacheStats folds the entry's phase-sampler and exact-sampler later-phase

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/spanning"
 )
@@ -86,7 +87,10 @@ func (s *Session) Sample(ctx context.Context, spec SamplerSpec, seed uint64) (*s
 			return nil, nil, err
 		}
 	}
-	tree, st, err := s.eng.sampleOne(s.ent, spec, prng.New(seed))
+	// A request trace rides in on ctx (spantreed puts it there); one-shot
+	// samples carry index 0. Observation only — the draw is byte-identical
+	// traced or not.
+	tree, st, err := s.eng.sampleOne(s.ent, spec, prng.New(seed), obs.FromContext(ctx), 0)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/spanning"
 )
@@ -135,6 +137,21 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 	e.streams.Add(1)
 	base := prng.New(req.SeedBase)
 
+	// Resolve the stream's trace: a request trace carried by ctx wins and
+	// instruments every sample; otherwise ask the engine tracer, which
+	// applies its 1-in-N sampling policy (and may decline). A trace we start
+	// here is ours to finish when the stream ends — and it records only one
+	// representative sample (index 0) in depth, because a full clique run
+	// emits thousands of superstep/charge spans per sample and instrumenting
+	// all K of them would make the one-in-N sampled stream measurably slower
+	// than its peers. Forced (ctx-carried) traces take that cost knowingly.
+	tr := obs.FromContext(ctx)
+	ownTrace := false
+	if tr == nil {
+		tr = e.tracer.Start("engine/stream " + s.ent.key)
+		ownTrace = tr != nil
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	// inflight gates the feeder on delivery capacity: a sample may only
 	// launch when a buffer slot is reserved for its result, so a stream
@@ -152,7 +169,15 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 			case <-ctx.Done():
 				break feed
 			}
-			if err := lease.acquire(ctx); err != nil {
+			// Queue wait: how long this sample sat waiting for a pool slot
+			// under the weighted scheduler. Histogram always; span when traced.
+			waitSp := tr.StartSpan("engine/slot_wait")
+			waitSp.SetInt("sample", int64(i))
+			t0 := time.Now()
+			err := lease.acquire(ctx)
+			e.latSchedWait.Observe(time.Since(t0))
+			waitSp.End()
+			if err != nil {
 				<-inflight
 				break feed
 			}
@@ -162,7 +187,11 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 				defer func() { <-inflight }()
 				// The per-sample stream depends only on (SeedBase, i); Split
 				// re-derives it independently of scheduling history.
-				tree, cs, err := e.sampleOne(s.ent, spec, base.Split(uint64(i)))
+				str := tr
+				if ownTrace && i != 0 {
+					str = nil
+				}
+				tree, cs, err := e.sampleOne(s.ent, spec, base.Split(uint64(i)), str, i)
 				// The pool slot covers computation only: hand it back before
 				// delivery so a slow consumer cannot pin pool width.
 				lease.release()
@@ -196,6 +225,9 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 				st.err = fmt.Errorf("engine: stream canceled: %w", err)
 				e.aborted.Add(1)
 			}
+		}
+		if ownTrace {
+			tr.Finish()
 		}
 		cancel()
 		close(st.done)

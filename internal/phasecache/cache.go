@@ -3,8 +3,10 @@ package phasecache
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Entry is the cached algebraic state of one phase subset: the shortcut
@@ -89,6 +91,10 @@ type Stats struct {
 	Bytes int64 `json:"bytes"`
 	// CapacityBytes is the configured budget.
 	CapacityBytes int64 `json:"capacity_bytes"`
+	// Lookup is the latency histogram of Get calls (key hash, lock wait, and
+	// probe included) — the phase-cache lookup cost the observability layer
+	// surfaces. Purely observational: nothing reads it back.
+	Lookup obs.HistSnapshot `json:"lookup"`
 }
 
 // Add returns the fieldwise sum of two snapshots (capacity included), used
@@ -102,6 +108,7 @@ func (s Stats) Add(o Stats) Stats {
 		Entries:       s.Entries + o.Entries,
 		Bytes:         s.Bytes + o.Bytes,
 		CapacityBytes: s.CapacityBytes + o.CapacityBytes,
+		Lookup:        s.Lookup.Add(o.Lookup),
 	}
 }
 
@@ -122,6 +129,10 @@ type Cache struct {
 	index    map[uint64]*list.Element // key -> element
 
 	hits, misses, evictions, rejected int64
+
+	// lookup times every Get (atomic histogram; observed outside mu so the
+	// lock wait it measures is included in what it measures).
+	lookup *obs.Histogram
 }
 
 // New returns a cache bounded to capacityBytes of matrix payload. A
@@ -134,6 +145,7 @@ func New(capacityBytes int64) *Cache {
 		capacity: capacityBytes,
 		lru:      list.New(),
 		index:    make(map[uint64]*list.Element),
+		lookup:   obs.NewHistogram(),
 	}
 }
 
@@ -143,6 +155,8 @@ func (c *Cache) Get(scope uint64, members []int) (*Entry, bool) {
 	if c == nil {
 		return nil, false
 	}
+	start := time.Now()
+	defer func() { c.lookup.Observe(time.Since(start)) }()
 	key := KeyOf(scope, members)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -222,6 +236,7 @@ func (c *Cache) Stats() Stats {
 		Entries:       c.lru.Len(),
 		Bytes:         c.bytes,
 		CapacityBytes: c.capacity,
+		Lookup:        c.lookup.Snapshot(),
 	}
 }
 

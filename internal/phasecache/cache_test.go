@@ -103,7 +103,7 @@ func TestNilCacheIsDisabled(t *testing.T) {
 	if _, ok := c.Get(0, []int{0, 1}); ok {
 		t.Error("nil cache returned a hit")
 	}
-	if s := c.Stats(); s != (Stats{}) {
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 || s.Bytes != 0 || s.CapacityBytes != 0 || s.Lookup.Count != 0 {
 		t.Errorf("nil cache reports non-zero stats: %+v", s)
 	}
 }

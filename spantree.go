@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/mm"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/spanning"
 )
@@ -111,6 +112,8 @@ type options struct {
 	cacheTotalMB  int
 	streamWorkers int
 	maxStreams    int
+	traceEvery    int
+	traceRing     int
 }
 
 // Option configures the samplers.
@@ -257,6 +260,32 @@ func WithMaxStreamsPerGraph(n int) Option {
 			return fmt.Errorf("spantree: max streams per graph must be >= 0, got %d", n)
 		}
 		o.maxStreams = n
+		return nil
+	}
+}
+
+// WithTraceSampling sets how often an Engine's tracer records an unforced
+// request trace: 1 in every streams (1 traces everything, 0 keeps the
+// obs.DefaultSampleEvery period, negative disables unforced tracing).
+// Explicitly requested traces — spantreed requests carrying an X-Request-ID
+// header — are always recorded regardless. Tracing is pure observation:
+// trees and Stats are byte-identical at any setting. Engine-only; one-shot
+// samplers ignore it.
+func WithTraceSampling(every int) Option {
+	return func(o *options) error {
+		o.traceEvery = every
+		return nil
+	}
+}
+
+// WithTraceRing sets how many recent traces the Engine retains for
+// /v1/traces-style inspection (0: obs.DefaultRingCapacity). Engine-only.
+func WithTraceRing(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("spantree: trace ring capacity must be >= 0, got %d", n)
+		}
+		o.traceRing = n
 		return nil
 	}
 }
@@ -516,6 +545,28 @@ var (
 	ErrStreamLimit    = engine.ErrStreamLimit
 )
 
+// Observability re-exports for serving layers built on the facade (the
+// render-side helpers — Histogram, PromWriter — stay in internal/obs, which
+// in-module commands import directly). A Tracer hands out request traces (Engine
+// batches record into the trace carried by their context, or sample their
+// own); snapshots are the JSON forms /v1/traces serves; LatencyMetrics is
+// EngineMetrics.Latency; HistSnapshot is one fixed-bucket latency histogram
+// with precomputed p50/p90/p99 quantiles.
+type (
+	Tracer         = obs.Tracer
+	Trace          = obs.Trace
+	TraceSnapshot  = obs.TraceSnapshot
+	SpanSnapshot   = obs.SpanSnapshot
+	HistSnapshot   = obs.HistSnapshot
+	LatencyMetrics = engine.LatencyMetrics
+)
+
+// TraceContext returns ctx carrying tr; Engine batches run under the
+// returned context record their spans into tr.
+func TraceContext(ctx context.Context, tr *Trace) context.Context {
+	return obs.NewContext(ctx, tr)
+}
+
 // StreamPoolMetrics reports the engine-wide stream worker pool's width and
 // instantaneous utilization (EngineMetrics.StreamPool).
 type StreamPoolMetrics = engine.StreamPoolMetrics
@@ -539,5 +590,7 @@ func NewEngine(workers int, opts ...Option) (*Engine, error) {
 		PhaseCacheTotalMB:  o.cacheTotalMB,
 		StreamWorkers:      o.streamWorkers,
 		MaxStreamsPerGraph: o.maxStreams,
+		TraceSampleEvery:   o.traceEvery,
+		TraceRing:          o.traceRing,
 	}), nil
 }
