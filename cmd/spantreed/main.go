@@ -60,16 +60,34 @@
 //	POST   /v1/audit               same body; adds the TV audit against the exact tree count
 //	GET    /v1/stats               engine + request metrics
 //
+// Persistence: -data-dir points the engine at a durable prepared-state
+// directory (internal/blobstore). The graph registry persists across
+// restarts via an on-disk manifest; each graph's expensive prepared state is
+// snapshotted (write-behind, off the request path) after its first cold
+// build and restored bit-exactly on the next boot, so a restarted server
+// reaches first-sample readiness without re-running the phase-0 matrix
+// squarings; hot phase-cache entries are flushed on graceful shutdown.
+// Responses are byte-identical with or without -data-dir — restored state
+// samples the same trees AND stats. Empty (the default) keeps the server
+// fully in-memory.
+//
+// Auth: -auth-token (or $SPANTREED_AUTH_TOKEN) requires "Authorization:
+// Bearer <token>" on every /v1/* endpoint (401 otherwise); /healthz,
+// /metrics, and /debug/pprof stay open for probes and scrapers. Empty (the
+// default) leaves the API open.
+//
 // Batches are byte-identical for a fixed (graph, sampler spec, seed_base, k)
 // regardless of worker count; stream lines may arrive out of index order but
 // each index always carries the same tree. Request cancellation is honest:
 // a client that disconnects mid-batch aborts its in-flight work instead of
 // burning the pool. The server shuts down gracefully on SIGINT or SIGTERM,
-// draining in-flight requests.
+// draining in-flight requests and flushing durable state.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -108,8 +126,15 @@ func run() error {
 		traceEvery    = flag.Int("trace-every", 0, "trace 1 in every N unlabeled requests (0: default 1/64, negative: only X-Request-ID requests)")
 		traceRing     = flag.Int("trace-ring", 0, "recent traces retained for /v1/traces (0: default 64)")
 		pprofEnabled  = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		dataDir       = flag.String("data-dir", "", "durable prepared-state directory: persists the graph registry and prepared-state snapshots across restarts (empty: in-memory only)")
+		authToken     = flag.String("auth-token", "", "bearer token required on /v1/* endpoints (empty: $SPANTREED_AUTH_TOKEN; both empty: no auth)")
 	)
 	flag.Parse()
+
+	token := *authToken
+	if token == "" {
+		token = os.Getenv("SPANTREED_AUTH_TOKEN")
+	}
 
 	eng, err := spantree.NewEngine(*workers,
 		spantree.WithPhaseCacheMB(*cacheMB),
@@ -117,7 +142,8 @@ func run() error {
 		spantree.WithStreamWorkers(*streamWorkers),
 		spantree.WithMaxStreamsPerGraph(*maxStreams),
 		spantree.WithTraceSampling(*traceEvery),
-		spantree.WithTraceRing(*traceRing))
+		spantree.WithTraceRing(*traceRing),
+		spantree.WithDataDir(*dataDir))
 	if err != nil {
 		return err
 	}
@@ -125,6 +151,7 @@ func run() error {
 	srv := newServer(eng)
 	srv.log = logger
 	srv.pprof = *pprofEnabled
+	srv.setAuthToken(token)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -136,7 +163,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "stream_workers", eng.StreamWorkers(), "pprof", *pprofEnabled)
+		logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "stream_workers", eng.StreamWorkers(), "pprof", *pprofEnabled, "data_dir", *dataDir, "auth", token != "")
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -150,7 +177,16 @@ func run() error {
 	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	return httpSrv.Shutdown(shutCtx)
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	// Graceful drain: flush write-behind snapshots and hot phase-cache
+	// entries to the data dir so the next boot starts warm (no-op without
+	// -data-dir).
+	if err := eng.Close(); err != nil {
+		logger.Warn("flushing durable state", "err", err)
+	}
+	return nil
 }
 
 // endpointLabels enumerates the route patterns the per-endpoint latency
@@ -196,9 +232,54 @@ type server struct {
 	started  time.Time
 	requests atomic.Int64
 	errors   atomic.Int64
+	// authHash, when non-nil, is the SHA-256 of the bearer token every /v1/*
+	// request must present (hashed so comparisons are constant-time over
+	// fixed-length digests; the raw token is never retained).
+	authHash []byte
 	// latEndpoint holds one request-latency histogram per route pattern,
 	// fully populated at construction so reads are lock-free.
 	latEndpoint map[string]*obs.Histogram
+}
+
+// setAuthToken enables bearer-token auth on the /v1/* API ("" disables).
+// Must be called before the server handles traffic.
+func (s *server) setAuthToken(token string) {
+	if token == "" {
+		s.authHash = nil
+		return
+	}
+	sum := sha256.Sum256([]byte(token))
+	s.authHash = sum[:]
+}
+
+// authorize reports whether r may reach the API: true when auth is disabled
+// or the request bears the configured token. Only /v1/* is gated —
+// /healthz, /metrics, and /debug/pprof stay open for probes and scrapers,
+// which is the conventional split for infrastructure endpoints.
+func (s *server) authorize(r *http.Request) bool {
+	if s.authHash == nil || !strings.HasPrefix(r.URL.Path, "/v1/") {
+		return true
+	}
+	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok {
+		return false
+	}
+	sum := sha256.Sum256([]byte(token))
+	return subtle.ConstantTimeCompare(sum[:], s.authHash) == 1
+}
+
+// auth is the bearer-token gate in front of the API mux. It sits inside
+// instrument, so rejected requests still get request IDs, log lines, and a
+// place in the error counters and latency histograms.
+func (s *server) auth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorize(r) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="spantreed"`)
+			s.writeError(w, r, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func newServer(eng *spantree.Engine) *server {
@@ -234,7 +315,7 @@ func (s *server) routes() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s.instrument(mux)
+	return s.instrument(s.auth(mux))
 }
 
 // reqInfo is the per-request context record: the request ID plus the graph
@@ -451,6 +532,25 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Value("spantree_phase_cache_capacity_bytes", float64(m.PhaseCache.CapacityBytes))
 	p.Header("spantree_phase_cache_lookup_seconds", "Phase-cache Get latency.", "histogram")
 	p.Hist("spantree_phase_cache_lookup_seconds", m.PhaseCache.Lookup)
+
+	p.Header("spantree_blobstore_hits_total", "Prepared-state snapshot loads served from the durable store.", "counter")
+	p.Value("spantree_blobstore_hits_total", float64(m.Blobstore.Hits))
+	p.Header("spantree_blobstore_misses_total", "Snapshot loads that fell through to a cold prepare.", "counter")
+	p.Value("spantree_blobstore_misses_total", float64(m.Blobstore.Misses))
+	p.Header("spantree_blobstore_puts_total", "Snapshot blobs written.", "counter")
+	p.Value("spantree_blobstore_puts_total", float64(m.Blobstore.Puts))
+	p.Header("spantree_blobstore_corrupt_discards_total", "Blobs discarded after failing verification.", "counter")
+	p.Value("spantree_blobstore_corrupt_discards_total", float64(m.Blobstore.CorruptDiscards))
+	p.Header("spantree_blobstore_read_bytes_total", "Blob payload bytes read.", "counter")
+	p.Value("spantree_blobstore_read_bytes_total", float64(m.Blobstore.BytesRead))
+	p.Header("spantree_blobstore_written_bytes_total", "Blob payload bytes written.", "counter")
+	p.Value("spantree_blobstore_written_bytes_total", float64(m.Blobstore.BytesWritten))
+	p.Header("spantree_blobstore_resident_blobs", "Blobs resident on disk.", "gauge")
+	p.Value("spantree_blobstore_resident_blobs", float64(m.Blobstore.ResidentBlobs))
+	p.Header("spantree_blobstore_resident_bytes", "Bytes resident on disk.", "gauge")
+	p.Value("spantree_blobstore_resident_bytes", float64(m.Blobstore.ResidentBytes))
+	p.Header("spantree_blobstore_load_seconds", "Blob load latency (open, read, verify).", "histogram")
+	p.Hist("spantree_blobstore_load_seconds", m.Blobstore.Load)
 
 	p.Header("spantree_sample_duration_seconds", "Per-tree compute latency by sampler.", "histogram")
 	for name, snap := range m.Latency.Samplers {

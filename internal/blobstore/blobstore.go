@@ -1,0 +1,343 @@
+package blobstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// magic identifies a blob file and pins the container layout version; a
+// container change (not an artifact change — those bump the per-kind format
+// version in the key) bumps the trailing digit.
+var magic = [8]byte{'S', 'T', 'B', 'L', 'O', 'B', '0', '1'}
+
+// ErrNotFound reports that no valid blob exists under the key — either none
+// was ever written, or the resident one failed verification and was
+// discarded. Callers recompute and Put either way.
+var ErrNotFound = errors.New("blobstore: blob not found")
+
+// Key is a blob's content address: SHA-256 over the artifact identity.
+type Key [32]byte
+
+// String renders the key as lowercase hex (the on-disk file name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// NewKey derives the content address of one artifact from everything that
+// determines its bytes: the artifact kind, its serialization format version,
+// the digest of the graph it was built for, and the canonical fingerprint of
+// the sampler configuration (core.Config.Fingerprint). Each component is
+// length-prefixed before hashing so no two distinct tuples can collide by
+// concatenation.
+func NewKey(kind string, formatVersion uint32, graphDigest [32]byte, configFingerprint string) Key {
+	h := sha256.New()
+	var scratch [8]byte
+	writeChunk := func(b []byte) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(b)))
+		h.Write(scratch[:])
+		h.Write(b)
+	}
+	writeChunk([]byte(kind))
+	binary.LittleEndian.PutUint32(scratch[:4], formatVersion)
+	h.Write(scratch[:4])
+	writeChunk(graphDigest[:])
+	writeChunk([]byte(configFingerprint))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// GraphDigest hashes a graph's full structure — vertex count, edge count,
+// and every edge with its weight's exact bit pattern — so two graphs share a
+// digest iff they are the same weighted graph.
+func GraphDigest(g *graph.Graph) [32]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	for _, e := range g.Edges() {
+		put(uint64(e.U))
+		put(uint64(e.V))
+		put(math.Float64bits(e.Weight))
+	}
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// Stats is a point-in-time snapshot of the store's counters — the snapshot
+// save/load surface Engine.Metrics, /v1/stats, and /metrics report.
+type Stats struct {
+	// Hits counts Gets served a verified blob.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that found no usable blob (absent or discarded);
+	// the caller recomputes cold.
+	Misses int64 `json:"misses"`
+	// Puts counts blobs written (snapshot saves).
+	Puts int64 `json:"puts"`
+	// BytesRead / BytesWritten count blob payload traffic.
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	// CorruptDiscards counts blobs that failed verification (truncation,
+	// checksum mismatch, wrong kind or format version) and were deleted
+	// instead of served.
+	CorruptDiscards int64 `json:"corrupt_discards"`
+	// ResidentBlobs / ResidentBytes gauge what is on disk right now.
+	ResidentBlobs int64 `json:"resident_blobs"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	// Load is the blob-load latency histogram (every Get, hit or miss:
+	// open, read, verify). Purely observational.
+	Load obs.HistSnapshot `json:"load"`
+}
+
+// Store is a content-addressed blob directory. All methods are safe for
+// concurrent use; a nil *Store is a disabled store (every Get misses
+// without counting, every Put is dropped) so callers can thread one
+// unconditionally.
+type Store struct {
+	root string
+	log  *slog.Logger
+
+	hits, misses, puts, corrupt  atomic.Int64
+	bytesRead, bytesWritten      atomic.Int64
+	residentBlobs, residentBytes atomic.Int64
+
+	load *obs.Histogram
+}
+
+// Open creates (if needed) and opens the store rooted at dir. Existing blobs
+// are counted into the resident gauges but not verified — verification
+// happens on every Get, which is what decides whether a blob is served.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("blobstore: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("blobstore: creating %s: %w", dir, err)
+	}
+	s := &Store{root: dir, log: slog.Default(), load: obs.NewHistogram()}
+	_ = filepath.WalkDir(filepath.Join(dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".blob" {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			s.residentBlobs.Add(1)
+			s.residentBytes.Add(info.Size())
+		}
+		return nil
+	})
+	return s, nil
+}
+
+// SetLogger replaces the warning logger (default slog.Default()).
+func (s *Store) SetLogger(l *slog.Logger) {
+	if s != nil && l != nil {
+		s.log = l
+	}
+}
+
+// Logger returns the store's warning logger (slog.Default() for a nil
+// store), so layers above log persistence warnings to the same sink.
+func (s *Store) Logger() *slog.Logger {
+	if s == nil {
+		return slog.Default()
+	}
+	return s.log
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// path shards blobs by the first key byte so no single directory grows
+// unbounded.
+func (s *Store) path(k Key) string {
+	name := k.String()
+	return filepath.Join(s.root, "blobs", name[:2], name[2:]+".blob")
+}
+
+// header layout (little-endian), followed by the payload and a SHA-256
+// checksum over everything before it:
+//
+//	magic            [8]byte
+//	format version   uint32
+//	kind length      uint16, then kind bytes
+//	payload length   uint64
+const checksumLen = sha256.Size
+
+func encodeBlob(kind string, formatVersion uint32, payload []byte) []byte {
+	buf := make([]byte, 0, 8+4+2+len(kind)+8+len(payload)+checksumLen)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(kind)))
+	buf = append(buf, kind...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// decodeBlob verifies a raw blob file against the expected kind and format
+// version and returns its payload. Any failure is a single error — the
+// caller treats them all as "discard and recompute".
+func decodeBlob(raw []byte, kind string, formatVersion uint32) ([]byte, error) {
+	minLen := 8 + 4 + 2 + len(kind) + 8 + checksumLen
+	if len(raw) < minLen {
+		return nil, fmt.Errorf("truncated blob: %d bytes", len(raw))
+	}
+	body, sum := raw[:len(raw)-checksumLen], raw[len(raw)-checksumLen:]
+	want := sha256.Sum256(body)
+	if !bytes.Equal(sum, want[:]) {
+		return nil, errors.New("checksum mismatch")
+	}
+	if !bytes.Equal(body[:8], magic[:]) {
+		return nil, fmt.Errorf("bad magic %q", body[:8])
+	}
+	if v := binary.LittleEndian.Uint32(body[8:]); v != formatVersion {
+		return nil, fmt.Errorf("stale format version %d (want %d)", v, formatVersion)
+	}
+	kindLen := int(binary.LittleEndian.Uint16(body[12:]))
+	if 14+kindLen+8 > len(body) {
+		return nil, fmt.Errorf("truncated kind field (%d bytes)", kindLen)
+	}
+	if got := string(body[14 : 14+kindLen]); got != kind {
+		return nil, fmt.Errorf("kind %q under a %q key", got, kind)
+	}
+	payload := body[14+kindLen+8:]
+	if n := binary.LittleEndian.Uint64(body[14+kindLen:]); n != uint64(len(payload)) {
+		return nil, fmt.Errorf("payload length %d, header says %d", len(payload), n)
+	}
+	return payload, nil
+}
+
+// Put stores payload under key, atomically: the blob is assembled in memory
+// (header, payload, checksum), written to a temp file in the destination
+// directory, synced, and renamed into place. A reader can only ever observe
+// the previous blob or the complete new one.
+func (s *Store) Put(key Key, kind string, formatVersion uint32, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if len(kind) == 0 || len(kind) > 1<<15 {
+		return fmt.Errorf("blobstore: invalid kind %q", kind)
+	}
+	dst := s.path(key)
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("blobstore: put %s: %w", key, err)
+	}
+	blob := encodeBlob(kind, formatVersion, payload)
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("blobstore: put %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("blobstore: put %s: %w", key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("blobstore: put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("blobstore: put %s: %w", key, err)
+	}
+	prev, _ := os.Stat(dst)
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("blobstore: put %s: %w", key, err)
+	}
+	s.puts.Add(1)
+	s.bytesWritten.Add(int64(len(payload)))
+	if prev != nil {
+		s.residentBytes.Add(int64(len(blob)) - prev.Size())
+	} else {
+		s.residentBlobs.Add(1)
+		s.residentBytes.Add(int64(len(blob)))
+	}
+	return nil
+}
+
+// Get returns the verified payload stored under key. A missing blob returns
+// ErrNotFound; a blob failing any verification check is logged, counted as a
+// corrupt discard, deleted, and also reported as ErrNotFound — a corrupt
+// artifact is never served, and the caller's recompute-and-Put rewrites it.
+func (s *Store) Get(key Key, kind string, formatVersion uint32) ([]byte, error) {
+	if s == nil {
+		return nil, ErrNotFound
+	}
+	start := time.Now()
+	defer func() { s.load.Observe(time.Since(start)) }()
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("blobstore: get %s: %w", key, err)
+	}
+	payload, err := decodeBlob(raw, kind, formatVersion)
+	if err != nil {
+		s.discard(key, err)
+		s.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(payload)))
+	return payload, nil
+}
+
+// Discard removes the blob under key as invalid — the path restore layers
+// take when a checksummed blob decodes but its content contradicts the state
+// it claims to snapshot. Counted with the corrupt discards.
+func (s *Store) Discard(key Key, reason error) {
+	if s == nil {
+		return
+	}
+	s.discard(key, reason)
+}
+
+func (s *Store) discard(key Key, reason error) {
+	s.corrupt.Add(1)
+	if info, err := os.Stat(s.path(key)); err == nil {
+		s.residentBlobs.Add(-1)
+		s.residentBytes.Add(-info.Size())
+	}
+	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		s.log.Warn("blobstore: removing corrupt blob", "key", key.String(), "err", err)
+	}
+	s.log.Warn("blobstore: discarding corrupt blob, will recompute", "key", key.String(), "reason", reason)
+}
+
+// Stats returns a snapshot of the store's counters (zero for a nil store).
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Puts:            s.puts.Load(),
+		BytesRead:       s.bytesRead.Load(),
+		BytesWritten:    s.bytesWritten.Load(),
+		CorruptDiscards: s.corrupt.Load(),
+		ResidentBlobs:   s.residentBlobs.Load(),
+		ResidentBytes:   s.residentBytes.Load(),
+		Load:            s.load.Snapshot(),
+	}
+}

@@ -1,0 +1,141 @@
+package blobstore
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// ManifestVersion pins the manifest's JSON schema; a manifest carrying a
+// different version is treated like a corrupt one (discarded, the process
+// starts with an empty registry and rebuilds the manifest as graphs are
+// re-registered).
+const ManifestVersion = 1
+
+const manifestName = "manifest.json"
+
+// GraphRecord is one registered graph in the manifest: enough to rebuild the
+// exact weighted graph (edge list with float64 weights survives JSON because
+// weights originate from float64s; the digest double-checks the round trip).
+type GraphRecord struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+	// Edges holds [u, v, weight] triples, sorted by (u, v).
+	Edges [][3]float64 `json:"edges"`
+	// Digest is the hex GraphDigest of the graph at registration; Build
+	// verifies the rebuilt graph against it.
+	Digest string `json:"digest"`
+}
+
+// RecordGraph captures g under key as a manifest record.
+func RecordGraph(key string, g *graph.Graph) GraphRecord {
+	edges := g.Edges()
+	rec := GraphRecord{Key: key, N: g.N(), Edges: make([][3]float64, len(edges))}
+	for i, e := range edges {
+		rec.Edges[i] = [3]float64{float64(e.U), float64(e.V), e.Weight}
+	}
+	d := GraphDigest(g)
+	rec.Digest = hex.EncodeToString(d[:])
+	return rec
+}
+
+// Build rebuilds the record's graph and verifies it against the stored
+// digest, so a manifest edited or damaged past the JSON layer can never
+// resurrect a different graph under an old key.
+func (r GraphRecord) Build() (*graph.Graph, error) {
+	g, err := graph.New(r.N)
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: manifest graph %q: %w", r.Key, err)
+	}
+	for i, e := range r.Edges {
+		u, v := int(e[0]), int(e[1])
+		if float64(u) != e[0] || float64(v) != e[1] {
+			return nil, fmt.Errorf("blobstore: manifest graph %q: edge %d has non-integer endpoints", r.Key, i)
+		}
+		if err := g.AddEdge(u, v, e[2]); err != nil {
+			return nil, fmt.Errorf("blobstore: manifest graph %q: edge %d: %w", r.Key, i, err)
+		}
+	}
+	d := GraphDigest(g)
+	if hex.EncodeToString(d[:]) != r.Digest {
+		return nil, fmt.Errorf("blobstore: manifest graph %q: digest mismatch", r.Key)
+	}
+	return g, nil
+}
+
+// Manifest is the registered-graph set a restarted process rehydrates its
+// registry from.
+type Manifest struct {
+	Version int           `json:"version"`
+	Graphs  []GraphRecord `json:"graphs"`
+}
+
+// SaveManifest writes m atomically (temp file + sync + rename), stamping the
+// current ManifestVersion.
+func (s *Store) SaveManifest(m *Manifest) error {
+	if s == nil {
+		return nil
+	}
+	m.Version = ManifestVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("blobstore: encoding manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.root, "manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("blobstore: saving manifest: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("blobstore: saving manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("blobstore: saving manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("blobstore: saving manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.root, manifestName)); err != nil {
+		return fmt.Errorf("blobstore: saving manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads the manifest. A missing file yields an empty manifest
+// (a fresh data dir); a corrupt or version-mismatched one is logged, counted
+// as a corrupt discard, renamed aside, and also yields an empty manifest —
+// the registry starts empty and re-registration rebuilds it, while the
+// content-addressed blobs remain valid for the graphs that return.
+func (s *Store) LoadManifest() (*Manifest, error) {
+	if s == nil {
+		return &Manifest{Version: ManifestVersion}, nil
+	}
+	path := filepath.Join(s.root, manifestName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Manifest{Version: ManifestVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: loading manifest: %w", err)
+	}
+	var m Manifest
+	uerr := json.Unmarshal(data, &m)
+	if uerr == nil && m.Version == ManifestVersion {
+		return &m, nil
+	}
+	if uerr == nil {
+		uerr = fmt.Errorf("stale manifest version %d (want %d)", m.Version, ManifestVersion)
+	}
+	s.corrupt.Add(1)
+	s.log.Warn("blobstore: discarding corrupt manifest, starting with an empty registry", "path", path, "reason", uerr)
+	_ = os.Rename(path, path+".corrupt")
+	return &Manifest{Version: ManifestVersion}, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/mm"
+	"repro/internal/phasecache"
+	"repro/internal/schur"
+)
+
+// PreparedSnapshotVersion identifies the Prepared.Snapshot wire format.
+// Bump it whenever the serialized layout or the meaning of any encoded field
+// changes; the blobstore keys snapshots by this version, so old blobs are
+// never addressed (let alone loaded) by a newer binary.
+const PreparedSnapshotVersion uint32 = 1
+
+// ErrNoSnapshot reports that a Prepared holds no serializable artifacts:
+// single-vertex graphs and the message-dataflow backends (naive, semiring3d)
+// never build the phase-0 state, so there is nothing worth persisting — a
+// restart re-prepares them as cheaply as a snapshot load would.
+var ErrNoSnapshot = errors.New("core: prepared state has no snapshot")
+
+// Fingerprint returns the canonical identity string of the validated
+// configuration at an n-vertex graph: every knob that can change prepared
+// artifacts or sampled output bytes, with float64 knobs rendered as exact
+// bit patterns. Two configs with equal fingerprints produce byte-identical
+// trees, Stats, and prepared state on the same graph, which is what lets the
+// durable store key snapshots by (graph digest, fingerprint) and reuse them
+// across processes.
+//
+// Deliberately excluded: SimFidelity (charged and full execution are
+// byte-identical by the PR 4 contract) and PhaseCacheMB (cache sizing trades
+// throughput, never bytes). Backend and Matching contribute their concrete
+// types — each named implementation is deterministic, so the type is the
+// behavior.
+func (c Config) Fingerprint(n int) (string, error) {
+	cfg, err := c.withDefaults(n)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"v1|backend=%T|matching=%T|eps=%016x|rho=%d|walk=%d|trunc=%016x|maxpos=%d|matchlim=%d|maxphases=%d|direct=%t|lasvegas=%t|maxext=%d",
+		cfg.Backend, cfg.Matching,
+		math.Float64bits(cfg.Epsilon), cfg.Rho, cfg.WalkLength,
+		math.Float64bits(cfg.TruncDelta), cfg.MaxPositions, cfg.MatchingLimit,
+		cfg.MaxPhases, cfg.DirectPlacement, cfg.LasVegas, cfg.MaxExtensions,
+	), nil
+}
+
+// FingerprintExact is Fingerprint under SampleExact's configuration
+// overrides — the identity of the exact variant's prepared state.
+func FingerprintExact(c Config, n int) (string, error) {
+	return exactConfig(n, c).Fingerprint(n)
+}
+
+// Snapshot serializes the Prepared's expensive immutable artifacts — the
+// phase-0 shortcut transition matrix and the phase-0 dyadic power table —
+// bit-exactly (float64s as IEEE bit patterns). The phase-0 subset is not
+// stored: it is always the full vertex set and is rebuilt in O(n) on
+// restore. The encoding is deterministic: the same Prepared always snapshots
+// to the same bytes.
+//
+// Prepareds with nothing to persist (n = 1, non-Fast backends) return
+// ErrNoSnapshot.
+func (p *Prepared) Snapshot() ([]byte, error) {
+	if p.sub0 == nil || p.q0 == nil || p.pd0 == nil {
+		return nil, ErrNoSnapshot
+	}
+	buf := make([]byte, 0, 24+p.q0.EncodedSize()+12+(p.pd0.MaxExp()+1)*p.q0.EncodedSize())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.cfg.WalkLength))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.cfg.TruncDelta))
+	buf = p.q0.AppendBinary(buf)
+	return p.pd0.AppendBinary(buf)
+}
+
+// RestorePrepared rebuilds a Prepared from a Snapshot taken under an
+// equivalent (graph, Config) pair, skipping the phase-0 matrix squarings
+// entirely — the zero-warmup restart path. The restored Prepared is
+// indistinguishable from a fresh Prepare: identical artifacts bit-for-bit,
+// identical cache wiring, so every SampleWith draws byte-identical trees AND
+// Stats (the replayed round charges read the same table the cold path would
+// have built).
+//
+// Restore re-validates everything Prepare validates and additionally
+// cross-checks the snapshot against the config (vertex count, walk length,
+// truncation unit, matrix shapes). Any mismatch — a snapshot from a
+// different graph or config, or a damaged payload that slipped past outer
+// checksums — fails with an error; callers fall back to a cold Prepare.
+func RestorePrepared(g *graph.Graph, cfg Config, data []byte) (*Prepared, error) {
+	return restore(g, cfg, data, nil, false, 0)
+}
+
+// RestorePreparedExact is RestorePrepared under SampleExact's configuration
+// overrides, matching PrepareExact.
+func RestorePreparedExact(g *graph.Graph, cfg Config, data []byte) (*Prepared, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	return restore(g, exactConfig(g.N(), cfg), data, nil, false, 0)
+}
+
+// RestorePreparedWithCache is RestorePrepared borrowing an externally owned
+// later-phase cache, matching PrepareWithCache.
+func RestorePreparedWithCache(g *graph.Graph, cfg Config, data []byte, cache *phasecache.Cache, scope uint64) (*Prepared, error) {
+	return restore(g, cfg, data, cache, true, scope)
+}
+
+// RestorePreparedExactWithCache is RestorePreparedExact borrowing an
+// externally owned later-phase cache, matching PrepareExactWithCache.
+func RestorePreparedExactWithCache(g *graph.Graph, cfg Config, data []byte, cache *phasecache.Cache, scope uint64) (*Prepared, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	return restore(g, exactConfig(g.N(), cfg), data, cache, true, scope)
+}
+
+// restore mirrors prepare step for step, decoding the phase-0 artifacts
+// instead of computing them.
+func restore(g *graph.Graph, cfg Config, data []byte, ext *phasecache.Cache, extOwned bool, scope uint64) (*Prepared, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	n := g.N()
+	if n == 1 {
+		return nil, fmt.Errorf("core: restore: %w", ErrNoSnapshot)
+	}
+	cfg, err := cfg.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("core: graph must be connected")
+	}
+	if _, fast := cfg.Backend.(mm.Fast); !fast {
+		return nil, fmt.Errorf("core: restore: snapshots exist only under the fast backend: %w", ErrNoSnapshot)
+	}
+	p := &Prepared{g: g, cfg: cfg, n: n}
+	if extOwned {
+		p.cache, p.cacheScope = ext, scope
+	} else if cfg.PhaseCacheMB > 0 {
+		p.cache = phasecache.New(int64(cfg.PhaseCacheMB) << 20)
+	}
+
+	if len(data) < 20 {
+		return nil, fmt.Errorf("core: restore: truncated snapshot (%d bytes)", len(data))
+	}
+	if got := int(binary.LittleEndian.Uint32(data)); got != n {
+		return nil, fmt.Errorf("core: restore: snapshot of an %d-vertex graph, have %d vertices", got, n)
+	}
+	if got := int64(binary.LittleEndian.Uint64(data[4:])); got != cfg.WalkLength {
+		return nil, fmt.Errorf("core: restore: snapshot walk length %d, config wants %d", got, cfg.WalkLength)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(data[12:])); got != cfg.TruncDelta {
+		return nil, fmt.Errorf("core: restore: snapshot truncation delta %g, config wants %g", got, cfg.TruncDelta)
+	}
+	q, rest, err := matrix.DecodeBinary(data[20:])
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: shortcut matrix: %w", err)
+	}
+	pd, rest, err := matrix.DecodePowerDyadic(rest)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: dyadic power table: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("core: restore: %d trailing bytes", len(rest))
+	}
+	if q.Rows() != n || q.Cols() != n {
+		return nil, fmt.Errorf("core: restore: shortcut matrix is %dx%d, want %dx%d", q.Rows(), q.Cols(), n, n)
+	}
+	maxExp := int(math.Log2(float64(cfg.WalkLength)) + 0.5)
+	if pd.MaxExp() != maxExp {
+		return nil, fmt.Errorf("core: restore: power table holds up to 2^%d, config wants 2^%d", pd.MaxExp(), maxExp)
+	}
+	for e, pow := range pd.Pows {
+		if pow.Rows() != n || pow.Cols() != n {
+			return nil, fmt.Errorf("core: restore: power table level %d is %dx%d, want %dx%d", e, pow.Rows(), pow.Cols(), n, n)
+		}
+	}
+	if pd.Delta != cfg.TruncDelta {
+		return nil, fmt.Errorf("core: restore: power table delta %g, config wants %g", pd.Delta, cfg.TruncDelta)
+	}
+
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	sub, err := schur.NewSubset(n, members)
+	if err != nil {
+		return nil, err
+	}
+	p.sub0, p.q0, p.pd0 = sub, q, pd
+	return p, nil
+}
+
+// ExportPhaseCache serializes up to maxBytes (<= 0: unlimited) of this
+// Prepared's resident later-phase cache entries, hottest first — the
+// graceful-drain flush that lets the next process start with a warm cache.
+// A Prepared without a cache exports nothing. See phasecache.Export for the
+// format and determinism contract.
+func (p *Prepared) ExportPhaseCache(maxBytes int64) ([]byte, int, error) {
+	return p.cache.Export(p.cacheScope, maxBytes)
+}
+
+// ImportPhaseCache installs previously exported entries into this Prepared's
+// later-phase cache under its own scope, preserving their hotness order.
+// Returns the number of entries installed (0 without a cache).
+func (p *Prepared) ImportPhaseCache(data []byte) (int, error) {
+	return p.cache.Import(p.cacheScope, data)
+}

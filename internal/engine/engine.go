@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/aldous"
+	"repro/internal/blobstore"
 	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/doubling"
@@ -93,6 +95,12 @@ type Options struct {
 	// TraceRing sets how many recent traces the tracer retains for
 	// /v1/traces (0: obs.DefaultRingCapacity).
 	TraceRing int
+	// Store, when non-nil, is the durable prepared-state store: the graph
+	// registry is rehydrated from its manifest at construction, prepared
+	// state is restored from snapshots on first touch (write-behind saved
+	// after cold builds), and Close flushes hot phase-cache entries back.
+	// nil (the default) keeps the engine fully in-memory.
+	Store *blobstore.Store
 }
 
 // Engine is a registry of graphs plus the engine-wide weighted stream
@@ -129,6 +137,15 @@ type Engine struct {
 	// make samplers deliberately slow for cancellation coverage; it must be
 	// set before the engine serves traffic.
 	sampleHook func()
+
+	// store, when non-nil, is the durable prepared-state store (see
+	// Options.Store and persist.go); manifest mirrors its on-disk graph
+	// manifest under manMu, and persistWG tracks in-flight write-behind
+	// snapshot saves so Close can drain them.
+	store     *blobstore.Store
+	manifest  *blobstore.Manifest
+	manMu     sync.Mutex
+	persistWG sync.WaitGroup
 }
 
 // New returns an Engine with the given options.
@@ -156,6 +173,10 @@ func New(opts Options) *Engine {
 		e.sharedCache = phasecache.New(int64(opts.PhaseCacheTotalMB) << 20)
 	}
 	e.reg.init()
+	if opts.Store != nil {
+		e.store = opts.Store
+		e.hydrate()
+	}
 	return e
 }
 
@@ -192,7 +213,12 @@ type Metrics struct {
 	// least one stream in flight (absent when the engine is idle).
 	StreamsByGraph map[string]GraphStreamMetrics `json:"streams_by_graph,omitempty"`
 	PhaseCache     phasecache.Stats              `json:"phase_cache"`
-	MatrixPool     matrix.PoolStats              `json:"matrix_pool"`
+	// Blobstore is the durable prepared-state store's save/load surface
+	// (zero-valued for an in-memory engine): snapshot hits and misses, blob
+	// traffic, corrupt discards, resident gauges, and the blob-load latency
+	// histogram.
+	Blobstore  blobstore.Stats  `json:"blobstore"`
+	MatrixPool matrix.PoolStats `json:"matrix_pool"`
 	// Latency is the engine's latency-histogram block (per-sampler per-tree
 	// latency and scheduler slot wait); serving layers add their per-endpoint
 	// histograms on top.
@@ -220,6 +246,7 @@ func (e *Engine) Metrics() Metrics {
 		Samples:    e.samples.Load(),
 		Streams:    e.streams.Load(),
 		Aborted:    e.aborted.Load(),
+		Blobstore:  e.store.Stats(),
 		MatrixPool: matrix.ReadPoolStats(),
 	}
 	m.StreamPool, m.StreamsByGraph = e.sched.snapshot()

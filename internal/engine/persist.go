@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"repro/internal/blobstore"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/phasecache"
+)
+
+// Artifact kinds in the durable store. The kind is part of the content
+// address, so the four artifact families can never be confused for one
+// another even under identical (graph, config) identities.
+const (
+	kindPreparedPhase   = "prepared/phase"
+	kindPreparedExact   = "prepared/exact"
+	kindPhaseCachePhase = "phasecache/phase"
+	kindPhaseCacheExact = "phasecache/exact"
+)
+
+// hydrate rehydrates the registry from the store's manifest at construction.
+// Only the graph set is eager; each graph's prepared state stays on disk
+// until its first touch (buildPrepared), so a restart with many registered
+// graphs pays for exactly the ones that get traffic. Damaged records are
+// logged and skipped — their keys simply come back empty, like any
+// unregistered graph.
+func (e *Engine) hydrate() {
+	man, err := e.store.LoadManifest()
+	if err != nil {
+		e.store.Logger().Warn("engine: loading graph manifest, starting empty", "err", err)
+		e.manifest = &blobstore.Manifest{}
+		return
+	}
+	e.manifest = man
+	for _, rec := range man.Graphs {
+		g, err := rec.Build()
+		if err != nil {
+			e.store.Logger().Warn("engine: skipping damaged manifest graph", "key", rec.Key, "err", err)
+			continue
+		}
+		if err := e.reg.add(rec.Key, g); err != nil {
+			e.store.Logger().Warn("engine: rehydrating manifest graph", "key", rec.Key, "err", err)
+		}
+	}
+}
+
+// persistRegistration records a (re-)registered graph in the manifest.
+// Manifest writes are atomic and rare (registration-rate, not sample-rate).
+func (e *Engine) persistRegistration(key string, g *graph.Graph) {
+	if e.store == nil {
+		return
+	}
+	e.manMu.Lock()
+	defer e.manMu.Unlock()
+	rec := blobstore.RecordGraph(key, g)
+	replaced := false
+	for i := range e.manifest.Graphs {
+		if e.manifest.Graphs[i].Key == key {
+			e.manifest.Graphs[i] = rec
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		e.manifest.Graphs = append(e.manifest.Graphs, rec)
+	}
+	if err := e.store.SaveManifest(e.manifest); err != nil {
+		e.store.Logger().Warn("engine: persisting graph manifest", "key", key, "err", err)
+	}
+}
+
+// forgetRegistration drops a deregistered graph from the manifest. Its blobs
+// stay on disk — content-addressed residue that re-registration of the same
+// graph under any key immediately benefits from.
+func (e *Engine) forgetRegistration(key string) {
+	if e.store == nil {
+		return
+	}
+	e.manMu.Lock()
+	defer e.manMu.Unlock()
+	kept := e.manifest.Graphs[:0]
+	for _, rec := range e.manifest.Graphs {
+		if rec.Key != key {
+			kept = append(kept, rec)
+		}
+	}
+	if len(kept) == len(e.manifest.Graphs) {
+		return
+	}
+	e.manifest.Graphs = kept
+	if err := e.store.SaveManifest(e.manifest); err != nil {
+		e.store.Logger().Warn("engine: persisting graph manifest", "key", key, "err", err)
+	}
+}
+
+// artifactKeys derives the content addresses of one entry's prepared
+// snapshot and exported phase cache for the given sampler variant. ok is
+// false when the config cannot be fingerprinted at this graph's size (the
+// cold path will surface the same validation error to the caller).
+func (e *Engine) artifactKeys(ent *entry, exact bool) (prepKey, cacheKey blobstore.Key, ok bool) {
+	var (
+		fp  string
+		err error
+	)
+	if exact {
+		fp, err = core.FingerprintExact(e.cfg, ent.g.N())
+	} else {
+		fp, err = e.cfg.Fingerprint(ent.g.N())
+	}
+	if err != nil {
+		return blobstore.Key{}, blobstore.Key{}, false
+	}
+	digest := blobstore.GraphDigest(ent.g)
+	pKind, cKind := kindPreparedPhase, kindPhaseCachePhase
+	if exact {
+		pKind, cKind = kindPreparedExact, kindPhaseCacheExact
+	}
+	return blobstore.NewKey(pKind, core.PreparedSnapshotVersion, digest, fp),
+		blobstore.NewKey(cKind, phasecache.ExportVersion, digest, fp),
+		true
+}
+
+// coldPrepare is the pre-persistence build path: a full core.Prepare,
+// borrowing the engine-wide phase cache when one exists.
+func (e *Engine) coldPrepare(ent *entry, exact bool) (*core.Prepared, error) {
+	switch {
+	case e.sharedCache != nil && exact:
+		return core.PrepareExactWithCache(ent.g, e.cfg, e.sharedCache, e.scopeSeq.Add(1))
+	case e.sharedCache != nil:
+		return core.PrepareWithCache(ent.g, e.cfg, e.sharedCache, e.scopeSeq.Add(1))
+	case exact:
+		return core.PrepareExact(ent.g, e.cfg)
+	default:
+		return core.Prepare(ent.g, e.cfg)
+	}
+}
+
+// restorePrepared rebuilds a Prepared from a snapshot payload with exactly
+// the cache wiring coldPrepare would have used.
+func (e *Engine) restorePrepared(ent *entry, exact bool, payload []byte) (*core.Prepared, error) {
+	switch {
+	case e.sharedCache != nil && exact:
+		return core.RestorePreparedExactWithCache(ent.g, e.cfg, payload, e.sharedCache, e.scopeSeq.Add(1))
+	case e.sharedCache != nil:
+		return core.RestorePreparedWithCache(ent.g, e.cfg, payload, e.sharedCache, e.scopeSeq.Add(1))
+	case exact:
+		return core.RestorePreparedExact(ent.g, e.cfg, payload)
+	default:
+		return core.RestorePrepared(ent.g, e.cfg, payload)
+	}
+}
+
+// buildPrepared produces the entry's Prepared for one sampler variant: from
+// the durable store when a valid snapshot exists (zero-warmup — no matrix
+// squarings), cold otherwise, with a write-behind snapshot save after a cold
+// build. Runs under the entry's sync.Once, so each (entry, variant) resolves
+// exactly once per process.
+//
+// The write-behind goroutine keeps persistence off the first request's
+// latency path: Put happens after the caller is already sampling, and
+// Engine.Close waits for in-flight saves. Samples themselves never touch the
+// store — persistence is registration- and prepare-rate only.
+func (e *Engine) buildPrepared(ent *entry, exact bool) (*core.Prepared, error) {
+	if e.store == nil {
+		return e.coldPrepare(ent, exact)
+	}
+	pKey, cKey, ok := e.artifactKeys(ent, exact)
+	if !ok {
+		return e.coldPrepare(ent, exact)
+	}
+	pKind := kindPreparedPhase
+	if exact {
+		pKind = kindPreparedExact
+	}
+	if payload, err := e.store.Get(pKey, pKind, core.PreparedSnapshotVersion); err == nil {
+		p, rerr := e.restorePrepared(ent, exact, payload)
+		if rerr == nil {
+			e.importPhaseCache(p, cKey, exact)
+			return p, nil
+		}
+		// Decoded but contradicts the (graph, config) it is keyed under —
+		// discard at the content level and fall through to a cold build,
+		// whose write-behind rewrites the blob.
+		e.store.Discard(pKey, rerr)
+	}
+	p, err := e.coldPrepare(ent, exact)
+	if err != nil {
+		return nil, err
+	}
+	e.persistWG.Add(1)
+	go func() {
+		defer e.persistWG.Done()
+		snap, serr := p.Snapshot()
+		if serr != nil {
+			// ErrNoSnapshot (n = 1, dataflow backends): nothing to persist.
+			return
+		}
+		if perr := e.store.Put(pKey, pKind, core.PreparedSnapshotVersion, snap); perr != nil {
+			e.store.Logger().Warn("engine: persisting prepared snapshot", "graph", ent.key, "err", perr)
+		}
+	}()
+	return p, nil
+}
+
+// importPhaseCache warms a restored Prepared's later-phase cache from its
+// exported-cache blob, when one was flushed by a previous graceful drain.
+func (e *Engine) importPhaseCache(p *core.Prepared, key blobstore.Key, exact bool) {
+	kind := kindPhaseCachePhase
+	if exact {
+		kind = kindPhaseCacheExact
+	}
+	data, err := e.store.Get(key, kind, phasecache.ExportVersion)
+	if err != nil {
+		return
+	}
+	if _, ierr := p.ImportPhaseCache(data); ierr != nil {
+		e.store.Discard(key, ierr)
+	}
+}
+
+// Close drains the engine's persistence: it waits for in-flight write-behind
+// snapshot saves, then flushes every touched Prepared's hot phase-cache
+// entries to the store so the next process starts warm (the graceful-drain
+// flush; a killed process simply loses the cache export, never correctness).
+// Without a durable store Close is a no-op. Close does not stop sampling —
+// callers stop serving first, then Close.
+func (e *Engine) Close() error {
+	e.persistWG.Wait()
+	if e.store == nil {
+		return nil
+	}
+	var ents []*entry
+	e.reg.each(func(ent *entry) { ents = append(ents, ent) })
+	var firstErr error
+	for _, ent := range ents {
+		for _, exact := range []bool{false, true} {
+			p := ent.phase.Load()
+			if exact {
+				p = ent.exact.Load()
+			}
+			if p == nil {
+				continue
+			}
+			_, cKey, ok := e.artifactKeys(ent, exact)
+			if !ok {
+				continue
+			}
+			data, _, err := p.ExportPhaseCache(0)
+			if err != nil {
+				e.store.Logger().Warn("engine: exporting phase cache", "graph", ent.key, "err", err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if data == nil {
+				continue // no cache on this Prepared
+			}
+			kind := kindPhaseCachePhase
+			if exact {
+				kind = kindPhaseCacheExact
+			}
+			if err := e.store.Put(cKey, kind, phasecache.ExportVersion, data); err != nil {
+				e.store.Logger().Warn("engine: flushing phase cache", "graph", ent.key, "err", err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}

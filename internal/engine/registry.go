@@ -39,18 +39,13 @@ type entry struct {
 }
 
 // prepared returns the entry's cached phase-sampler precomputation,
-// building it on first use. With an engine-wide phase-cache budget the
-// Prepared borrows the shared cache under a fresh scope instead of building
-// a private one.
+// building it on first use: restored from the engine's durable store when a
+// valid snapshot exists, cold otherwise (see Engine.buildPrepared). With an
+// engine-wide phase-cache budget the Prepared borrows the shared cache under
+// a fresh scope instead of building a private one.
 func (ent *entry) prepared(e *Engine) (*core.Prepared, error) {
 	ent.phaseOnce.Do(func() {
-		var p *core.Prepared
-		var err error
-		if e.sharedCache != nil {
-			p, err = core.PrepareWithCache(ent.g, e.cfg, e.sharedCache, e.scopeSeq.Add(1))
-		} else {
-			p, err = core.Prepare(ent.g, e.cfg)
-		}
+		p, err := e.buildPrepared(ent, false)
 		ent.phaseErr = err
 		if err == nil {
 			ent.phase.Store(p)
@@ -62,16 +57,10 @@ func (ent *entry) prepared(e *Engine) (*core.Prepared, error) {
 // preparedExact is prepared for the appendix's exact variant, which uses a
 // different distinct-vertex budget and therefore its own power table (and,
 // under a shared cache, its own scope — exact and phase entries never
-// alias).
+// alias; in the durable store they live under different artifact kinds).
 func (ent *entry) preparedExact(e *Engine) (*core.Prepared, error) {
 	ent.exactOnce.Do(func() {
-		var p *core.Prepared
-		var err error
-		if e.sharedCache != nil {
-			p, err = core.PrepareExactWithCache(ent.g, e.cfg, e.sharedCache, e.scopeSeq.Add(1))
-		} else {
-			p, err = core.PrepareExact(ent.g, e.cfg)
-		}
+		p, err := e.buildPrepared(ent, true)
 		ent.exactErr = err
 		if err == nil {
 			ent.exact.Store(p)
@@ -203,9 +192,15 @@ func (r *registry) keys() []string {
 // Register admits g under key. The engine takes ownership of g: callers
 // must not mutate it afterwards, since cached precomputation and concurrent
 // samplers alias it. Registration fails for empty keys, nil or disconnected
-// graphs, and duplicate keys.
+// graphs, and duplicate keys. With a durable store the registration is
+// recorded in the on-disk manifest, so a restarted engine comes back with
+// the same registry.
 func (e *Engine) Register(key string, g *graph.Graph) error {
-	return e.reg.add(key, g)
+	if err := e.reg.add(key, g); err != nil {
+		return err
+	}
+	e.persistRegistration(key, g)
+	return nil
 }
 
 // RegisterFamily builds the named graph family at (approximately) n
@@ -216,12 +211,24 @@ func (e *Engine) RegisterFamily(key, family string, n int, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	return e.reg.add(key, g)
+	if err := e.reg.add(key, g); err != nil {
+		return err
+	}
+	e.persistRegistration(key, g)
+	return nil
 }
 
 // Deregister removes the graph under key, reporting whether it existed.
-// In-flight batches holding the entry finish unaffected.
-func (e *Engine) Deregister(key string) bool { return e.reg.remove(key) }
+// In-flight batches holding the entry finish unaffected. With a durable
+// store the manifest record is dropped too; the graph's blobs stay on disk
+// as content-addressed residue a re-registration immediately reuses.
+func (e *Engine) Deregister(key string) bool {
+	if !e.reg.remove(key) {
+		return false
+	}
+	e.forgetRegistration(key)
+	return true
+}
 
 // Keys lists the registered graph keys, sorted.
 func (e *Engine) Keys() []string { return e.reg.keys() }

@@ -1,0 +1,134 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestBinaryRoundTripBitExact(t *testing.T) {
+	m := MustNew(3, 2)
+	vals := []float64{
+		0, math.Copysign(0, -1), 1.5, math.SmallestNonzeroFloat64,
+		-math.SmallestNonzeroFloat64, math.Nextafter(1, 2),
+	}
+	for i, v := range vals {
+		m.Set(i/2, i%2, v)
+	}
+	buf := m.AppendBinary(nil)
+	if len(buf) != m.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), m.EncodedSize())
+	}
+	got, rest, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode left %d bytes", len(rest))
+	}
+	for i, v := range vals {
+		g := got.At(i/2, i%2)
+		if math.Float64bits(g) != math.Float64bits(v) {
+			t.Errorf("entry %d: bits %016x, want %016x", i, math.Float64bits(g), math.Float64bits(v))
+		}
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	m := MustNew(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	a := m.AppendBinary(nil)
+	b := m.AppendBinary(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same matrix differ")
+	}
+}
+
+func TestDecodeBinaryRejectsDamage(t *testing.T) {
+	m := MustNew(2, 2)
+	buf := m.AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":             nil,
+		"short header":      buf[:4],
+		"truncated payload": buf[:len(buf)-1],
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeBinary(b); err == nil {
+			t.Errorf("%s: decode accepted damaged input", name)
+		}
+	}
+	huge := make([]byte, 8)
+	huge[0], huge[4] = 0xff, 0xff
+	huge[1], huge[5] = 0xff, 0xff
+	huge[2], huge[6] = 0xff, 0xff
+	if _, _, err := DecodeBinary(huge); err == nil {
+		t.Error("decode accepted absurd dimensions")
+	}
+}
+
+func TestPowerDyadicRoundTrip(t *testing.T) {
+	m := MustNew(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				m.Set(i, j, 0.5)
+			}
+		}
+	}
+	pd, err := NewPowerDyadic(m, 3, 1.0/1024)
+	if err != nil {
+		t.Fatalf("NewPowerDyadic: %v", err)
+	}
+	buf, err := pd.AppendBinary(nil)
+	if err != nil {
+		t.Fatalf("AppendBinary: %v", err)
+	}
+	got, rest, err := DecodePowerDyadic(buf)
+	if err != nil {
+		t.Fatalf("DecodePowerDyadic: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode left %d bytes", len(rest))
+	}
+	if got.MaxExp() != pd.MaxExp() || got.Delta != pd.Delta {
+		t.Fatalf("table shape: got maxExp=%d delta=%g, want %d %g", got.MaxExp(), got.Delta, pd.MaxExp(), pd.Delta)
+	}
+	for e := range pd.Pows {
+		a := pd.Pows[e].AppendBinary(nil)
+		b := got.Pows[e].AppendBinary(nil)
+		if !bytes.Equal(a, b) {
+			t.Errorf("level %d differs after round trip", e)
+		}
+	}
+}
+
+func TestPowerDyadicDecodeRejectsDamage(t *testing.T) {
+	m := MustNew(2, 2)
+	pd, err := NewPowerDyadic(m, 1, 0)
+	if err != nil {
+		t.Fatalf("NewPowerDyadic: %v", err)
+	}
+	buf, err := pd.AppendBinary(nil)
+	if err != nil {
+		t.Fatalf("AppendBinary: %v", err)
+	}
+	if _, _, err := DecodePowerDyadic(buf[:8]); err == nil {
+		t.Error("accepted truncated header")
+	}
+	if _, _, err := DecodePowerDyadic(buf[:len(buf)-3]); err == nil {
+		t.Error("accepted truncated level")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[8] = 0xff // level count
+	bad[9] = 0xff
+	if _, _, err := DecodePowerDyadic(bad); err == nil {
+		t.Error("accepted absurd level count")
+	}
+	if _, err := (&PowerDyadic{Pows: []*Matrix{nil}}).AppendBinary(nil); err == nil {
+		t.Error("encoded a table with a nil level")
+	}
+}

@@ -1,0 +1,135 @@
+package phasecache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// ExportVersion identifies the Export wire format. The blobstore keys
+// exported-cache blobs by it, so bumping it orphans (never corrupts) old
+// exports.
+const ExportVersion uint32 = 1
+
+// exportMagic heads every export payload: a cheap self-describing check in
+// front of the per-entry decoding (the blobstore's checksum already rules out
+// accidental damage; this rules out decoding some other artifact kind).
+var exportMagic = [4]byte{'P', 'C', 'X', '1'}
+
+// maxExportMembers bounds a decoded entry's member count, mirroring the
+// matrix codec's dimension guard.
+const maxExportMembers = 1 << 20
+
+// Export serializes the cache's resident entries for one scope, hottest
+// (most recently used) first, stopping before the encoded payload would
+// exceed maxBytes (<= 0: no limit). It returns the payload and the number of
+// entries included. Entries of other scopes are skipped — a shared cache
+// exports per-Prepared slices, each stored under its own blobstore key.
+//
+// The encoding reuses the deterministic bit-exact matrix codec, so an
+// exported entry re-imported into a fresh process serves byte-identical
+// matrices — a cache hit on a restored entry replays exactly the charges a
+// resident hit would have. A nil cache exports nothing.
+func (c *Cache) Export(scope uint64, maxBytes int64) ([]byte, int, error) {
+	if c == nil {
+		return nil, 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := make([]byte, 0, 4+4)
+	buf = append(buf, exportMagic[:]...)
+	countAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // patched below
+	count := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		n := el.Value.(*node)
+		e := n.entry
+		if e.Scope != scope || e.Shortcut == nil || e.Powers == nil {
+			continue
+		}
+		// Entry frame: member count + members, shortcut matrix, power table.
+		frame := make([]byte, 0, 4+8*len(e.Members)+e.Shortcut.EncodedSize())
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(e.Members)))
+		for _, m := range e.Members {
+			frame = binary.LittleEndian.AppendUint64(frame, uint64(m))
+		}
+		frame = e.Shortcut.AppendBinary(frame)
+		frame, err := e.Powers.AppendBinary(frame)
+		if err != nil {
+			return nil, 0, fmt.Errorf("phasecache: export: %w", err)
+		}
+		if maxBytes > 0 && int64(len(buf)+len(frame)) > maxBytes {
+			break
+		}
+		buf = append(buf, frame...)
+		count++
+	}
+	binary.LittleEndian.PutUint32(buf[countAt:], uint32(count))
+	return buf, count, nil
+}
+
+// Import installs previously exported entries into the cache under scope,
+// replacing whatever scope the exporter used (the importing Prepared owns a
+// fresh scope in a fresh process). Entries arrive hottest-first in the
+// payload and are inserted in reverse, so after Import the cache's recency
+// order matches the exporter's. Returns the number of entries installed.
+//
+// A decoding error abandons the import and reports it — the caller treats
+// the payload as corrupt (the blobstore discards the blob) and starts cold;
+// entries installed before the error are valid (each is individually
+// verified) and are left in place.
+func (c *Cache) Import(scope uint64, data []byte) (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	if len(data) < 8 {
+		return 0, fmt.Errorf("phasecache: import: truncated payload (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != exportMagic {
+		return 0, fmt.Errorf("phasecache: import: bad magic %q", data[:4])
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	if count < 0 || count > maxExportMembers {
+		return 0, fmt.Errorf("phasecache: import: invalid entry count %d", count)
+	}
+	entries := make([]*Entry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("phasecache: import: entry %d: truncated member header", i)
+		}
+		nm := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if nm <= 0 || nm > maxExportMembers {
+			return 0, fmt.Errorf("phasecache: import: entry %d: invalid member count %d", i, nm)
+		}
+		if len(data) < nm*8 {
+			return 0, fmt.Errorf("phasecache: import: entry %d: truncated member list", i)
+		}
+		members := make([]int, nm)
+		for j := range members {
+			members[j] = int(binary.LittleEndian.Uint64(data[j*8:]))
+		}
+		data = data[nm*8:]
+		var (
+			sc  *matrix.Matrix
+			pd  *matrix.PowerDyadic
+			err error
+		)
+		if sc, data, err = matrix.DecodeBinary(data); err != nil {
+			return 0, fmt.Errorf("phasecache: import: entry %d: shortcut: %w", i, err)
+		}
+		if pd, data, err = matrix.DecodePowerDyadic(data); err != nil {
+			return 0, fmt.Errorf("phasecache: import: entry %d: powers: %w", i, err)
+		}
+		entries = append(entries, &Entry{Scope: scope, Members: members, Shortcut: sc, Powers: pd})
+	}
+	if len(data) != 0 {
+		return 0, fmt.Errorf("phasecache: import: %d trailing bytes", len(data))
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		c.Put(entries[i])
+	}
+	return len(entries), nil
+}

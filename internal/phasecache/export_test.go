@@ -1,0 +1,149 @@
+package phasecache
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func exportEntry(scope uint64, members []int, dim int) *Entry {
+	m := matrix.MustNew(dim, dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			m.Set(i, j, float64(i*dim+j)/float64(dim*dim)+float64(members[0]))
+		}
+	}
+	pd, err := matrix.NewPowerDyadic(m, 2, 0)
+	if err != nil {
+		panic(err)
+	}
+	return &Entry{Scope: scope, Members: members, Shortcut: m, Powers: pd}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := New(1 << 20)
+	e1 := exportEntry(5, []int{0, 1, 2}, 3)
+	e2 := exportEntry(5, []int{1, 2, 3, 4}, 4)
+	src.Put(e1)
+	src.Put(e2) // e2 now most recent
+	data, n, err := src.Export(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("exported %d entries, want 2", n)
+	}
+	dst := New(1 << 20)
+	got, err := dst.Import(9, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("imported %d entries, want 2", got)
+	}
+	// Entries are served under the new scope with bit-identical matrices.
+	for _, e := range []*Entry{e1, e2} {
+		r, ok := dst.Get(9, e.Members)
+		if !ok {
+			t.Fatalf("imported entry %v not found", e.Members)
+		}
+		if !bytes.Equal(r.Shortcut.AppendBinary(nil), e.Shortcut.AppendBinary(nil)) {
+			t.Fatalf("entry %v: shortcut differs after round trip", e.Members)
+		}
+		a, err := r.Powers.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Powers.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("entry %v: power table differs after round trip", e.Members)
+		}
+	}
+	// The old scope serves nothing.
+	if _, ok := dst.Get(5, e1.Members); ok {
+		t.Fatal("imported entry answered under the exporter's scope")
+	}
+}
+
+func TestExportScopedAndBudgeted(t *testing.T) {
+	src := New(1 << 20)
+	src.Put(exportEntry(1, []int{0, 1}, 2))
+	src.Put(exportEntry(2, []int{0, 1, 2}, 3))
+	data, n, err := src.Export(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("scope filter exported %d entries, want 1", n)
+	}
+	dst := New(1 << 20)
+	if got, err := dst.Import(1, data); err != nil || got != 1 {
+		t.Fatalf("import: %d, %v", got, err)
+	}
+	// A tiny budget exports the header only.
+	_, n, err = src.Export(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("budgeted export included %d entries, want 0", n)
+	}
+}
+
+func TestExportPreservesRecencyOrder(t *testing.T) {
+	src := New(1 << 20)
+	cold := exportEntry(3, []int{0, 1}, 2)
+	hot := exportEntry(3, []int{2, 3}, 2)
+	src.Put(cold)
+	src.Put(hot)
+	data, _, err := src.Export(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Import into a cache that can hold exactly one of the two entries: the
+	// hot one must survive the eviction, proving recency carried over.
+	small := New(cold.cost() + 16)
+	if _, err := small.Import(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := small.Get(3, hot.Members); !ok {
+		t.Fatal("hottest entry evicted on import — recency order lost")
+	}
+}
+
+func TestImportRejectsDamage(t *testing.T) {
+	src := New(1 << 20)
+	src.Put(exportEntry(1, []int{0, 1}, 2))
+	data, _, err := src.Export(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   append([]byte("XXXX"), data[4:]...),
+		"truncated":   data[:len(data)-5],
+		"trailing":    append(append([]byte(nil), data...), 1, 2, 3),
+		"header only": data[:6],
+	}
+	for name, b := range cases {
+		dst := New(1 << 20)
+		if _, err := dst.Import(1, b); err == nil {
+			t.Errorf("%s: import accepted damaged payload", name)
+		}
+	}
+}
+
+func TestExportNilCache(t *testing.T) {
+	var c *Cache
+	data, n, err := c.Export(1, 0)
+	if err != nil || n != 0 || data != nil {
+		t.Fatalf("nil export: %v %d %v", data, n, err)
+	}
+	if got, err := c.Import(1, []byte("anything")); err != nil || got != 0 {
+		t.Fatalf("nil import: %d, %v", got, err)
+	}
+}

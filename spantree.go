@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/blobstore"
 	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -114,6 +115,7 @@ type options struct {
 	maxStreams    int
 	traceEvery    int
 	traceRing     int
+	dataDir       string
 }
 
 // Option configures the samplers.
@@ -286,6 +288,24 @@ func WithTraceRing(n int) Option {
 			return fmt.Errorf("spantree: trace ring capacity must be >= 0, got %d", n)
 		}
 		o.traceRing = n
+		return nil
+	}
+}
+
+// WithDataDir points an Engine at a durable prepared-state directory (the
+// content-addressed snapshot store of internal/blobstore): the graph
+// registry persists across restarts via an on-disk manifest, each graph's
+// expensive prepared state (phase-0 Schur/shortcut matrices and dyadic power
+// tables) is snapshotted after its first cold build and restored bit-exactly
+// on the next boot — zero-warmup restarts — and hot phase-cache entries are
+// flushed on Engine.Close so the next process starts warm. Persistence never
+// touches the sampling hot path (saves are write-behind) and never changes
+// output bytes: restored state samples byte-identical trees AND Stats.
+// "" (the default) keeps the engine fully in-memory. Engine-only; one-shot
+// samplers ignore it.
+func WithDataDir(dir string) Option {
+	return func(o *options) error {
+		o.dataDir = dir
 		return nil
 	}
 }
@@ -584,6 +604,13 @@ func NewEngine(workers int, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var store *blobstore.Store
+	if o.dataDir != "" {
+		store, err = blobstore.Open(o.dataDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return engine.New(engine.Options{
 		Workers:            workers,
 		Config:             o.cfg,
@@ -592,5 +619,11 @@ func NewEngine(workers int, opts ...Option) (*Engine, error) {
 		MaxStreamsPerGraph: o.maxStreams,
 		TraceSampleEvery:   o.traceEvery,
 		TraceRing:          o.traceRing,
+		Store:              store,
 	}), nil
 }
+
+// BlobstoreStats is the durable prepared-state store's counter snapshot
+// (EngineMetrics.Blobstore): snapshot save/load hits and misses, blob
+// traffic, corrupt discards, resident gauges, and blob-load latency.
+type BlobstoreStats = blobstore.Stats
