@@ -15,12 +15,18 @@
 // result buffer and its slots flow to faster streams instead of being
 // pinned. -max-streams-per-graph bounds concurrent sampling jobs per graph
 // — /v1/sample and /v1/audit batches run as streams internally and count
-// toward the cap too — and the excess request is rejected with 429, a
-// Retry-After header, and a JSON body carrying the graph's current stream
-// and queue gauges. Per-graph active-stream and queue-depth gauges appear
-// under /v1/stats. None of this changes response bytes: the tree at index i
-// is a pure function of (graph, sampler spec, seed_base, i) at any weight,
-// worker count, or consumption order.
+// toward the cap too. With -admission-queue N, requests at the cap wait in a
+// bounded per-graph FIFO (hold-and-wait) and are admitted as streams close;
+// only a full queue (or a deadline that provably cannot be met) rejects with
+// 429, a Retry-After header computed from live queue stats, and a JSON body
+// carrying the graph's stream gauges plus queued/queue_wait_p50_ms. Requests
+// may carry "deadline_ms" (default: -request-timeout) covering admission
+// wait, scheduling, and sampling; an expired deadline cancels the request
+// with a 504-mapped typed error. A sampler panic fails only its own request
+// (500, counted in /metrics); the daemon stays up. None of this changes
+// response bytes: the tree at index i is a pure function of (graph, sampler
+// spec, seed_base, i) at any weight, worker count, queueing, or consumption
+// order.
 //
 // -phase-cache-mb bounds each graph's later-phase state cache (Schur,
 // shortcut, and power-table triples keyed by phase subset; hits skip the
@@ -74,14 +80,18 @@
 // Auth: -auth-token (or $SPANTREED_AUTH_TOKEN) requires "Authorization:
 // Bearer <token>" on every /v1/* endpoint (401 otherwise); /healthz,
 // /metrics, and /debug/pprof stay open for probes and scrapers. Empty (the
-// default) leaves the API open.
+// default) leaves the API open. -tls-cert/-tls-key serve HTTPS instead of
+// HTTP — set both to close the hardening-before-exposure loop alongside
+// auth.
 //
 // Batches are byte-identical for a fixed (graph, sampler spec, seed_base, k)
 // regardless of worker count; stream lines may arrive out of index order but
 // each index always carries the same tree. Request cancellation is honest:
 // a client that disconnects mid-batch aborts its in-flight work instead of
-// burning the pool. The server shuts down gracefully on SIGINT or SIGTERM,
-// draining in-flight requests and flushing durable state.
+// burning the pool. The server shuts down gracefully on SIGINT or SIGTERM:
+// it drains in-flight requests up to -drain-timeout, then cancels the
+// remaining streams (clients get a typed 503-mapped error) and flushes
+// durable state.
 package main
 
 import (
@@ -105,6 +115,7 @@ import (
 	"time"
 
 	spantree "repro"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -128,8 +139,25 @@ func run() error {
 		pprofEnabled  = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 		dataDir       = flag.String("data-dir", "", "durable prepared-state directory: persists the graph registry and prepared-state snapshots across restarts (empty: in-memory only)")
 		authToken     = flag.String("auth-token", "", "bearer token required on /v1/* endpoints (empty: $SPANTREED_AUTH_TOKEN; both empty: no auth)")
+		admitQueue    = flag.Int("admission-queue", 0, "per-graph admission queue depth: requests at the -max-streams-per-graph cap wait (hold-and-wait) instead of 429ing until this many are queued (0: reject immediately at the cap)")
+		reqTimeout    = flag.Duration("request-timeout", 0, "default per-request deadline covering admission wait, scheduling, and sampling; requests may set their own deadline_ms (0: no default)")
+		tlsCert       = flag.String("tls-cert", "", "TLS certificate file; with -tls-key, serve HTTPS instead of HTTP")
+		tlsKey        = flag.String("tls-key", "", "TLS private key file")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget: SIGTERM waits this long for in-flight requests, then cancels the remaining streams before flushing durable state")
 	)
 	flag.Parse()
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return errors.New("-tls-cert and -tls-key must be set together")
+	}
+	if spec := os.Getenv("SPANTREED_FAULT"); spec != "" {
+		// Chaos-smoke hook: arm fault-injection points from the environment
+		// (internal/faultinject syntax). Test harness only — injection is
+		// zero-cost when the variable is unset.
+		if err := faultinject.Configure(spec); err != nil {
+			return err
+		}
+	}
 
 	token := *authToken
 	if token == "" {
@@ -141,6 +169,7 @@ func run() error {
 		spantree.WithPhaseCacheTotalMB(*cacheTotalMB),
 		spantree.WithStreamWorkers(*streamWorkers),
 		spantree.WithMaxStreamsPerGraph(*maxStreams),
+		spantree.WithAdmissionQueue(*admitQueue),
 		spantree.WithTraceSampling(*traceEvery),
 		spantree.WithTraceRing(*traceRing),
 		spantree.WithDataDir(*dataDir))
@@ -151,6 +180,7 @@ func run() error {
 	srv := newServer(eng)
 	srv.log = logger
 	srv.pprof = *pprofEnabled
+	srv.reqTimeout = *reqTimeout
 	srv.setAuthToken(token)
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -163,9 +193,15 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "stream_workers", eng.StreamWorkers(), "pprof", *pprofEnabled, "data_dir", *dataDir, "auth", token != "")
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-			errc <- err
+		logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "stream_workers", eng.StreamWorkers(), "pprof", *pprofEnabled, "data_dir", *dataDir, "auth", token != "", "tls", *tlsCert != "")
+		var serveErr error
+		if *tlsCert != "" {
+			serveErr = httpSrv.ListenAndServeTLS(*tlsCert, *tlsKey)
+		} else {
+			serveErr = httpSrv.ListenAndServe()
+		}
+		if !errors.Is(serveErr, http.ErrServerClosed) {
+			errc <- serveErr
 		}
 	}()
 
@@ -174,11 +210,21 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Info("shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	logger.Info("shutting down", "drain_timeout", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		return err
+		// The drain budget ran out with streams still in flight: cancel them
+		// through the deadline plumbing (clients get a typed 503-mapped
+		// error line) and give the handlers a moment to finish writing.
+		n := eng.AbortStreams(nil)
+		logger.Warn("drain timeout, aborting in-flight streams", "aborted", n, "err", err)
+		graceCtx, graceCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer graceCancel()
+		if err := httpSrv.Shutdown(graceCtx); err != nil {
+			logger.Warn("closing server after abort", "err", err)
+			_ = httpSrv.Close()
+		}
 	}
 	// Graceful drain: flush write-behind snapshots and hot phase-cache
 	// entries to the data dir so the next boot starts warm (no-op without
@@ -232,6 +278,9 @@ type server struct {
 	started  time.Time
 	requests atomic.Int64
 	errors   atomic.Int64
+	// reqTimeout, when positive, is the default per-request deadline applied
+	// to sampling requests that don't carry their own deadline_ms.
+	reqTimeout time.Duration
 	// authHash, when non-nil, is the SHA-256 of the bearer token every /v1/*
 	// request must present (hashed so comparisons are constant-time over
 	// fixed-length digests; the raw token is never retained).
@@ -420,34 +469,62 @@ func (s *server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 }
 
 // streamRejection is the 429 body: the error plus the graph's current
-// congestion gauges, so a client can tell an overloaded graph from a stuck
-// consumer and back off accordingly.
+// congestion gauges and live admission-queue stats, so a client can tell an
+// overloaded graph from a stuck consumer and back off by the measured drain
+// rate instead of a blind constant.
 type streamRejection struct {
-	Error             string `json:"error"`
-	Graph             string `json:"graph"`
-	ActiveStreams     int    `json:"active_streams"`
-	QueueDepth        int    `json:"queue_depth"`
-	RetryAfterSeconds int    `json:"retry_after_seconds"`
+	Error             string  `json:"error"`
+	Graph             string  `json:"graph"`
+	ActiveStreams     int     `json:"active_streams"`
+	QueueDepth        int     `json:"queue_depth"`
+	Queued            int     `json:"queued"`
+	QueueWaitP50MS    float64 `json:"queue_wait_p50_ms"`
+	RetryAfterSeconds int     `json:"retry_after_seconds"`
+}
+
+// retryAfterSeconds turns the scheduler's live wait estimate into a
+// Retry-After value: the estimated drain time rounded up, clamped to
+// [1s, 60s] (1 when the queue has no history yet, 60 so a deep queue never
+// tells clients to go away for minutes — stats may improve).
+func retryAfterSeconds(qs spantree.QueueStats) int {
+	est := qs.EstimatedWait
+	if est <= 0 {
+		return 1
+	}
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // writeStreamRejected writes the ErrStreamLimit response: 429 with a
-// Retry-After header and the rejected graph's stream gauges.
+// Retry-After header computed from live admission-queue stats and the
+// rejected graph's stream gauges in the body.
 func (s *server) writeStreamRejected(w http.ResponseWriter, r *http.Request, key string, err error) {
 	gm := s.eng.Metrics().StreamsByGraph[key]
-	w.Header().Set("Retry-After", "1")
+	qs := s.eng.QueueStats(key)
+	retry := retryAfterSeconds(qs)
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	s.writeJSON(w, r, http.StatusTooManyRequests, streamRejection{
 		Error:             err.Error(),
 		Graph:             key,
 		ActiveStreams:     gm.ActiveStreams,
 		QueueDepth:        gm.QueueDepth,
-		RetryAfterSeconds: 1,
+		Queued:            qs.Queued,
+		QueueWaitP50MS:    float64(qs.WaitP50.Microseconds()) / 1000,
+		RetryAfterSeconds: retry,
 	})
 }
 
 // statusFor maps engine errors onto HTTP statuses: unknown-graph lookups
 // are 404, unknown-sampler specs and everything else malformed are on the
-// caller (400), and runtime sampler failures on a well-formed request are
-// 500.
+// caller (400), deadline expiry is 504, a draining server is 503, and
+// runtime sampler failures (including recovered panics) on a well-formed
+// request are 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, spantree.ErrUnknownGraph):
@@ -456,6 +533,10 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, spantree.ErrStreamLimit):
 		return http.StatusTooManyRequests
+	case errors.Is(err, spantree.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, spantree.ErrDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, spantree.ErrSampleFailed):
 		return http.StatusInternalServerError
 	default:
@@ -498,6 +579,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Value("spantree_engine_streams_total", float64(m.Streams))
 	p.Header("spantree_engine_aborted_total", "Streams ended early by cancellation or failure.", "counter")
 	p.Value("spantree_engine_aborted_total", float64(m.Aborted))
+	p.Header("spantree_engine_panics_total", "Sampler panics recovered at the per-sample boundary.", "counter")
+	p.Value("spantree_engine_panics_total", float64(m.Panics))
 	p.Header("spantree_traces_recorded_total", "Request traces recorded by the engine tracer.", "counter")
 	p.Value("spantree_traces_recorded_total", float64(s.eng.Tracer().Recorded()))
 
@@ -509,6 +592,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Value("spantree_stream_pool_active_streams", float64(m.StreamPool.ActiveStreams))
 	p.Header("spantree_stream_pool_waiting_acquires", "In-flight samples parked waiting for a slot.", "gauge")
 	p.Value("spantree_stream_pool_waiting_acquires", float64(m.StreamPool.WaitingAcquires))
+	p.Header("spantree_stream_pool_queued_streams", "Requests parked in admission queues across all graphs.", "gauge")
+	p.Value("spantree_stream_pool_queued_streams", float64(m.StreamPool.QueuedStreams))
 	if len(m.StreamsByGraph) > 0 {
 		p.Header("spantree_graph_active_streams", "Open streams by graph.", "gauge")
 		for key, gm := range m.StreamsByGraph {
@@ -517,6 +602,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Header("spantree_graph_queue_depth", "Computed results awaiting consumers, by graph.", "gauge")
 		for key, gm := range m.StreamsByGraph {
 			p.Value("spantree_graph_queue_depth", float64(gm.QueueDepth), obs.L{K: "graph", V: key})
+		}
+		p.Header("spantree_graph_queued_streams", "Requests waiting in the admission queue, by graph.", "gauge")
+		for key, gm := range m.StreamsByGraph {
+			p.Value("spantree_graph_queued_streams", float64(gm.QueuedStreams), obs.L{K: "graph", V: key})
 		}
 	}
 
@@ -558,6 +647,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	p.Header("spantree_scheduler_wait_seconds", "Stream sample wait for a worker-pool slot.", "histogram")
 	p.Hist("spantree_scheduler_wait_seconds", m.Latency.SchedulerWait)
+	p.Header("spantree_admission_wait_seconds", "Admitted streams' wait in the hold-and-wait admission queue.", "histogram")
+	p.Hist("spantree_admission_wait_seconds", m.Latency.AdmissionWait)
+	if len(m.Latency.DeadlineExceeded) > 0 {
+		p.Header("spantree_deadline_exceeded_seconds", "How far past its deadline a request was at detection, by stage.", "histogram")
+		for stage, snap := range m.Latency.DeadlineExceeded {
+			p.Hist("spantree_deadline_exceeded_seconds", snap, obs.L{K: "stage", V: stage})
+		}
+	}
 
 	if err := p.Err(); err != nil {
 		s.log.Error("writing metrics", "id", requestInfo(r).id, "err", err)
@@ -693,16 +790,28 @@ type sampleRequest struct {
 	Sampler      string `json:"sampler,omitempty"`
 	SeedBase     uint64 `json:"seed_base"`
 	Workers      int    `json:"workers,omitempty"`
+	DeadlineMS   int    `json:"deadline_ms,omitempty"`
 	IncludeTrees bool   `json:"include_trees,omitempty"`
 }
 
 func (r sampleRequest) stream() spantree.StreamRequest {
+	spec := spantree.SpecFor(spantree.Sampler(r.Sampler))
+	spec.DeadlineMS = r.DeadlineMS
 	return spantree.StreamRequest{
 		K:        r.K,
-		Spec:     spantree.SpecFor(spantree.Sampler(r.Sampler)),
+		Spec:     spec,
 		SeedBase: r.SeedBase,
 		Workers:  r.Workers,
 	}
+}
+
+// withDeadline applies the server's default request deadline (the
+// -request-timeout flag) to requests that don't carry their own deadline_ms.
+func (s *server) withDeadline(req spantree.StreamRequest) spantree.StreamRequest {
+	if req.Spec.DeadlineMS == 0 && s.reqTimeout > 0 {
+		req.Spec.DeadlineMS = int(s.reqTimeout.Milliseconds())
+	}
+	return req
 }
 
 type sampleResponse struct {
@@ -744,7 +853,7 @@ func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	res, err := sess.Collect(r.Context(), req.stream())
+	res, err := sess.Collect(r.Context(), s.withDeadline(req.stream()))
 	if err != nil {
 		if errors.Is(err, spantree.ErrStreamLimit) {
 			s.writeStreamRejected(w, r, req.Graph, err)
@@ -774,7 +883,7 @@ func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	res, audit, err := sess.Audit(r.Context(), req.stream())
+	res, audit, err := sess.Audit(r.Context(), s.withDeadline(req.stream()))
 	if err != nil {
 		if errors.Is(err, spantree.ErrStreamLimit) {
 			s.writeStreamRejected(w, r, req.Graph, err)
@@ -801,6 +910,7 @@ type streamRequest struct {
 	SimFidelity   string  `json:"sim_fidelity,omitempty"`
 	Weight        float64 `json:"weight,omitempty"`
 	MaxWorkers    int     `json:"max_workers,omitempty"`
+	DeadlineMS    int     `json:"deadline_ms,omitempty"`
 	SeedBase      uint64  `json:"seed_base"`
 	Workers       int     `json:"workers,omitempty"` // legacy alias for max_workers
 }
@@ -817,6 +927,7 @@ func (r streamRequest) stream() spantree.StreamRequest {
 			SimFidelity:   r.SimFidelity,
 			Weight:        r.Weight,
 			MaxWorkers:    r.MaxWorkers,
+			DeadlineMS:    r.DeadlineMS,
 		},
 		SeedBase: r.SeedBase,
 		Workers:  r.Workers,
@@ -860,7 +971,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	st, err := sess.Stream(r.Context(), req.stream())
+	st, err := sess.Stream(r.Context(), s.withDeadline(req.stream()))
 	if err != nil {
 		if errors.Is(err, spantree.ErrStreamLimit) {
 			s.writeStreamRejected(w, r, key, err)

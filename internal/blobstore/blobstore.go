@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -236,6 +237,9 @@ func (s *Store) Put(key Key, kind string, formatVersion uint32, payload []byte) 
 	if len(kind) == 0 || len(kind) > 1<<15 {
 		return fmt.Errorf("blobstore: invalid kind %q", kind)
 	}
+	if ferr := faultinject.Hook(faultinject.PointBlobPut); ferr != nil {
+		return fmt.Errorf("blobstore: put %s: %w", key, ferr)
+	}
 	dst := s.path(key)
 	dir := filepath.Dir(dst)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -283,6 +287,16 @@ func (s *Store) Get(key Key, kind string, formatVersion uint32) ([]byte, error) 
 	}
 	start := time.Now()
 	defer func() { s.load.Observe(time.Since(start)) }()
+	// Chaos sites: PointBlobRead models the read failing outright (a miss —
+	// the caller recomputes); PointBlobReadBytes corrupts the raw bytes
+	// BEFORE verification (the checksum must catch it); PointBlobPayload
+	// corrupts the verified payload AFTER the checksum window (only the
+	// restore layer's own validation stands between it and wrong state).
+	// All three are free no-ops unless a test armed them.
+	if ferr := faultinject.Hook(faultinject.PointBlobRead); ferr != nil {
+		s.misses.Add(1)
+		return nil, fmt.Errorf("blobstore: get %s: %w", key, ferr)
+	}
 	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
 		s.misses.Add(1)
@@ -291,12 +305,14 @@ func (s *Store) Get(key Key, kind string, formatVersion uint32) ([]byte, error) 
 		}
 		return nil, fmt.Errorf("blobstore: get %s: %w", key, err)
 	}
+	raw = faultinject.MutateBytes(faultinject.PointBlobReadBytes, raw)
 	payload, err := decodeBlob(raw, kind, formatVersion)
 	if err != nil {
 		s.discard(key, err)
 		s.misses.Add(1)
 		return nil, ErrNotFound
 	}
+	payload = faultinject.MutateBytes(faultinject.PointBlobPayload, payload)
 	s.hits.Add(1)
 	s.bytesRead.Add(int64(len(payload)))
 	return payload, nil

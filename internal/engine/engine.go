@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/core"
 	"repro/internal/doubling"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -28,6 +30,46 @@ var ErrUnknownGraph = errors.New("engine: unknown graph")
 // ErrSampleFailed marks a batch aborted by a sampler's runtime failure (as
 // opposed to a malformed request); serving layers map it to 500.
 var ErrSampleFailed = errors.New("engine: sampling failed")
+
+// ErrSamplePanic marks a sample whose worker panicked. The panic is
+// recovered at the per-sample boundary — it fails that request (wrapped in
+// ErrSampleFailed, so both errors.Is checks match) and increments
+// Metrics.Panics, while the engine and its worker pool stay up.
+var ErrSamplePanic = errors.New("engine: sampler panicked")
+
+// ErrDeadlineExceeded marks a request that ran out of its own deadline
+// (SamplerSpec.DeadlineMS or the serving layer's default) — whether it was
+// still waiting in the admission queue, waiting for a slot, or mid-stream.
+// Serving layers map it to 504. Deliberately distinct from
+// context.DeadlineExceeded: it identifies the REQUEST's budget, not an
+// ambient context, and travels as a context cause through the admission and
+// scheduling layers.
+var ErrDeadlineExceeded = errors.New("engine: request deadline exceeded")
+
+// ErrDraining marks streams canceled by a shutting-down server's bounded
+// drain (Engine.AbortStreams at the drain deadline); serving layers map it
+// to 503.
+var ErrDraining = errors.New("engine: server draining")
+
+// Deadline stages: where a request was when its deadline fired. Each
+// detection lands in the per-stage deadline-exceeded histogram
+// (LatencyMetrics.DeadlineExceeded), whose samples measure how far PAST the
+// deadline the request was when the stage noticed — persistent large values
+// identify slow cancellation paths.
+const (
+	// stageAdmission: parked in the per-graph admission queue.
+	stageAdmission = "admission"
+	// stageSlotWait: admitted, waiting for a worker-pool slot.
+	stageSlotWait = "slot_wait"
+	// stageDispatch: between samples, waiting for delivery-buffer headroom.
+	stageDispatch = "dispatch"
+	// stageDeliver: sample computed, delivery blocked on the consumer.
+	stageDeliver = "deliver"
+)
+
+// deadlineStages lists every deadline stage, fixing the histogram set at
+// construction so recording is lock-free.
+var deadlineStages = []string{stageAdmission, stageSlotWait, stageDispatch, stageDeliver}
 
 // Sampler names a tree-sampling algorithm the engine can run.
 type Sampler string
@@ -77,6 +119,15 @@ type Options struct {
 	// toward the same cap (one-shot Session.Sample does not). 0 means
 	// unlimited.
 	MaxStreamsPerGraph int
+	// AdmissionQueueDepth, when positive, turns the hard per-graph stream cap
+	// into hold-and-wait admission: up to this many Stream requests per graph
+	// park in a FIFO when the graph is at MaxStreamsPerGraph, each admitted
+	// as an active stream closes. ErrStreamLimit then fires only when the
+	// queue itself is full, or when a deadline-bearing request provably
+	// cannot be admitted in time (estimated from live queue stats). 0 (the
+	// default) keeps the original fail-fast behavior; meaningless without
+	// MaxStreamsPerGraph.
+	AdmissionQueueDepth int
 	// PhaseCacheTotalMB, when positive, replaces the per-graph later-phase
 	// caches (Config.PhaseCacheMB each) with ONE byte-budgeted cache shared
 	// by every graph and sampler variant the engine serves — the
@@ -125,13 +176,21 @@ type Engine struct {
 	samples atomic.Int64
 	streams atomic.Int64
 	aborted atomic.Int64
+	panics  atomic.Int64
 
 	// tracer samples engine-originated request traces; latSampler (fixed at
-	// construction, one histogram per known sampler) and latSchedWait are the
-	// always-on latency histograms Metrics.Latency snapshots.
+	// construction, one histogram per known sampler), latSchedWait, and
+	// latDeadline (one histogram per deadline stage, recording exceeded-by
+	// amounts) are the always-on latency histograms Metrics.Latency snapshots.
 	tracer       *obs.Tracer
 	latSampler   map[Sampler]*obs.Histogram
 	latSchedWait *obs.Histogram
+	latDeadline  map[string]*obs.Histogram
+
+	// cancelMu guards cancels, the per-stream cancel functions AbortStreams
+	// drives during bounded drain.
+	cancelMu sync.Mutex
+	cancels  map[*Stream]context.CancelCauseFunc
 
 	// sampleHook, when non-nil, runs before every sample. Tests install it to
 	// make samplers deliberately slow for cancellation coverage; it must be
@@ -161,13 +220,18 @@ func New(opts Options) *Engine {
 	e := &Engine{
 		workers:      w,
 		cfg:          opts.Config,
-		sched:        newScheduler(sw, opts.MaxStreamsPerGraph),
+		sched:        newScheduler(sw, opts.MaxStreamsPerGraph, opts.AdmissionQueueDepth),
 		tracer:       obs.NewTracer(opts.TraceSampleEvery, opts.TraceRing),
 		latSampler:   make(map[Sampler]*obs.Histogram, len(Samplers())),
 		latSchedWait: obs.NewHistogram(),
+		latDeadline:  make(map[string]*obs.Histogram, len(deadlineStages)),
+		cancels:      make(map[*Stream]context.CancelCauseFunc),
 	}
 	for _, s := range Samplers() {
 		e.latSampler[s] = obs.NewHistogram()
+	}
+	for _, stage := range deadlineStages {
+		e.latDeadline[stage] = obs.NewHistogram()
 	}
 	if opts.PhaseCacheTotalMB > 0 {
 		e.sharedCache = phasecache.New(int64(opts.PhaseCacheTotalMB) << 20)
@@ -205,6 +269,11 @@ type Metrics struct {
 	Samples int64 `json:"samples"`
 	Streams int64 `json:"streams"`
 	Aborted int64 `json:"aborted"`
+	// Panics counts sampler panics recovered at the per-sample boundary
+	// (each also failed its request with ErrSamplePanic). Any nonzero value
+	// is a bug worth chasing; the counter exists so such bugs surface in
+	// monitoring instead of hiding inside per-request error bodies.
+	Panics int64 `json:"panics"`
 	// StreamPool is the instantaneous state of the engine-wide stream
 	// worker pool (width, leased slots, active streams, parked acquires).
 	StreamPool StreamPoolMetrics `json:"stream_pool"`
@@ -233,6 +302,15 @@ type LatencyMetrics struct {
 	// SchedulerWait is the slot-wait histogram: how long stream samples
 	// waited for a worker-pool slot before computing.
 	SchedulerWait obs.HistSnapshot `json:"scheduler_wait"`
+	// AdmissionWait is the admission-queue wait histogram: how long admitted
+	// streams sat in their graph's hold-and-wait queue before starting
+	// (zero-valued until any stream has queued).
+	AdmissionWait obs.HistSnapshot `json:"admission_wait"`
+	// DeadlineExceeded breaks deadline expiries down by the stage that
+	// noticed (admission, slot_wait, dispatch, deliver); each sample is how
+	// far past its deadline the request was at detection. Stages that have
+	// never fired are absent.
+	DeadlineExceeded map[string]obs.HistSnapshot `json:"deadline_exceeded,omitempty"`
 }
 
 // Metrics returns a snapshot of the engine's counters. With a global phase
@@ -246,11 +324,21 @@ func (e *Engine) Metrics() Metrics {
 		Samples:    e.samples.Load(),
 		Streams:    e.streams.Load(),
 		Aborted:    e.aborted.Load(),
+		Panics:     e.panics.Load(),
 		Blobstore:  e.store.Stats(),
 		MatrixPool: matrix.ReadPoolStats(),
 	}
 	m.StreamPool, m.StreamsByGraph = e.sched.snapshot()
 	m.Latency.SchedulerWait = e.latSchedWait.Snapshot()
+	m.Latency.AdmissionWait = e.sched.queueWait.Snapshot()
+	for stage, h := range e.latDeadline {
+		if s := h.Snapshot(); s.Count > 0 {
+			if m.Latency.DeadlineExceeded == nil {
+				m.Latency.DeadlineExceeded = make(map[string]obs.HistSnapshot)
+			}
+			m.Latency.DeadlineExceeded[stage] = s
+		}
+	}
 	for name, h := range e.latSampler {
 		if s := h.Snapshot(); s.Count > 0 {
 			if m.Latency.Samplers == nil {
@@ -279,7 +367,7 @@ func (e *Engine) Metrics() Metrics {
 // span (tagged idx, the request's sample index) plus the per-phase and
 // per-superstep spans the lower layers hang off the same trace. None of
 // that feeds back into the draw — output bytes are unchanged by tracing.
-func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source, tr *obs.Trace, idx int) (*spanning.Tree, *core.Stats, error) {
+func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source, tr *obs.Trace, idx int) (tree *spanning.Tree, stats *core.Stats, err error) {
 	if e.sampleHook != nil {
 		e.sampleHook()
 	}
@@ -290,6 +378,20 @@ func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source, tr *o
 		e.latSampler[spec.Name].Observe(time.Since(start))
 		sp.End()
 	}()
+	// Panic isolation: a panicking sampler fails THIS sample with a typed
+	// error instead of taking down the worker (and with it the daemon). The
+	// recover defer is registered after the latency defer so it runs first
+	// (LIFO) and the observation defers still see a normal return.
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			tree, stats = nil, nil
+			err = fmt.Errorf("%w: %v", ErrSamplePanic, r)
+		}
+	}()
+	if ferr := faultinject.Hook(faultinject.PointSample); ferr != nil {
+		return nil, nil, ferr
+	}
 	switch spec.Name {
 	case SamplerPhase:
 		prep, err := ent.preparedTraced(e, tr)
@@ -350,6 +452,67 @@ func (e *Engine) sampleOne(ent *entry, spec SamplerSpec, src *prng.Source, tr *o
 	default:
 		return nil, nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownSampler, spec.Name, Samplers())
 	}
+}
+
+// noteDeadline records a deadline expiry detected at the named stage when
+// ctx died because the REQUEST's deadline fired (cause ErrDeadlineExceeded);
+// it reports whether it did. The histogram sample is how far past its
+// deadline the request was at detection.
+func (e *Engine) noteDeadline(ctx context.Context, stage string) bool {
+	if !errors.Is(context.Cause(ctx), ErrDeadlineExceeded) {
+		return false
+	}
+	var over time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		if over = time.Since(dl); over < 0 {
+			over = 0
+		}
+	}
+	e.latDeadline[stage].Observe(over)
+	return true
+}
+
+// registerCancel enrolls an in-flight stream's cancel for AbortStreams;
+// the stream deregisters itself as it winds down.
+func (e *Engine) registerCancel(st *Stream, cancel context.CancelCauseFunc) {
+	e.cancelMu.Lock()
+	e.cancels[st] = cancel
+	e.cancelMu.Unlock()
+}
+
+func (e *Engine) deregisterCancel(st *Stream) {
+	e.cancelMu.Lock()
+	delete(e.cancels, st)
+	e.cancelMu.Unlock()
+}
+
+// AbortStreams cancels every in-flight stream with the given cause
+// (nil: ErrDraining) and reports how many it canceled. It is the teeth of a
+// bounded graceful drain: a shutting-down server first waits out its drain
+// budget, then aborts what remains so Close can run promptly. In-flight
+// samples finish computing (a slot is held only while computing) but no new
+// samples dispatch, and each aborted stream's Err wraps the cause.
+func (e *Engine) AbortStreams(cause error) int {
+	if cause == nil {
+		cause = ErrDraining
+	}
+	e.cancelMu.Lock()
+	cancels := make([]context.CancelCauseFunc, 0, len(e.cancels))
+	for _, c := range e.cancels {
+		cancels = append(cancels, c)
+	}
+	e.cancelMu.Unlock()
+	for _, c := range cancels {
+		c(cause)
+	}
+	return len(cancels)
+}
+
+// QueueStats snapshots one graph's admission queue — the serving layer's
+// source for Retry-After and the 429 body's queued/queue_wait fields. It is
+// cheap and safe to call for unregistered keys (all-zero stats).
+func (e *Engine) QueueStats(graph string) QueueStats {
+	return e.sched.queueStats(graph)
 }
 
 // Graph returns the registered graph under key.

@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/blobstore"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/phasecache"
 )
@@ -212,7 +213,13 @@ func (e *Engine) importPhaseCache(p *core.Prepared, key blobstore.Key, exact boo
 	if err != nil {
 		return
 	}
+	// Chaos site: corrupt the export payload between blob verification and
+	// import decode — the import layer's own framing checks are the defense.
+	data = faultinject.MutateBytes(faultinject.PointPhaseImport, data)
 	if _, ierr := p.ImportPhaseCache(data); ierr != nil {
+		// Partial imports are fine (frames already admitted stay warm and are
+		// verified content, not trust-the-blob state); the damaged blob itself
+		// is discarded so the next drain's flush rewrites it cleanly.
 		e.store.Discard(key, ierr)
 	}
 }

@@ -5,14 +5,20 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
-// ErrStreamLimit marks a stream rejected because its graph already has the
-// engine's configured maximum of concurrent streams (Options.MaxStreamsPerGraph)
-// in flight; serving layers map it to 429. The limit is admission control,
-// not queueing: the caller is expected to retry after one of the graph's
-// streams ends. Collect and Audit run as streams internally, so batch jobs
-// count toward (and are bounded by) the same cap.
+// ErrStreamLimit marks a stream rejected by admission control; serving
+// layers map it to 429. Without an admission queue (Options.
+// AdmissionQueueDepth == 0) it fires as soon as a graph is at its
+// concurrent-stream cap (Options.MaxStreamsPerGraph); with a queue it fires
+// only when the queue itself is full, or when the request carries a
+// deadline that the live queue-wait estimate says cannot be met. Collect
+// and Audit run as streams internally, so batch jobs count toward (and are
+// bounded by) the same cap.
 var ErrStreamLimit = errors.New("engine: stream limit reached")
 
 // scheduler is the engine-wide worker pool behind every Session.Stream: a
@@ -31,32 +37,61 @@ var ErrStreamLimit = errors.New("engine: stream limit reached")
 // current virtual time, so a newcomer competes fairly from its arrival
 // instead of replaying the past.
 //
+// Admission is hold-and-wait: when a graph is at its concurrent-stream cap
+// and a queue depth is configured, open parks the request in a bounded
+// per-graph FIFO instead of rejecting it; a stream closing on that graph
+// admits the head of the queue. ErrStreamLimit fires only when the queue is
+// full or a deadline-bearing request provably cannot be admitted in time.
+//
 // The scheduler never influences WHAT a stream computes — sample i of a
 // stream always draws from the seed stream derived from (SeedBase, i) — so
-// any weight, cap, and arrival order produces byte-identical per-index
-// output; the scheduler only reorders wall-clock completion.
+// any weight, cap, queueing, and arrival order produces byte-identical
+// per-index output; the scheduler only reorders wall-clock completion.
 type scheduler struct {
 	mu          sync.Mutex
 	slots       int // pool width (fixed at construction)
 	free        int // slots not currently leased
 	maxPerGraph int // admission cap per graph key (0: unlimited)
+	queueDepth  int // admission queue depth per graph key (0: hard reject at cap)
 	leases      map[*streamLease]struct{}
-	perGraph    map[string]int // active stream count per graph key
-	vtime       float64        // pass of the most recent grant (join point for new leases)
-	seq         uint64         // admission order, the deterministic tie-break
+	perGraph    map[string]int // active stream count per graph key (admitted, incl. reserved)
+	waiters     map[string][]*admitWaiter
+	vtime       float64 // pass of the most recent grant (join point for new leases)
+	seq         uint64  // admission order, the deterministic tie-break
+
+	// queueWait records how long admitted requests sat in the admission
+	// queue; holdDur records how long admitted streams held their admission
+	// (open → close). Both feed the live Retry-After / feasibility estimate.
+	queueWait *obs.Histogram
+	holdDur   *obs.Histogram
 }
 
-func newScheduler(slots, maxPerGraph int) *scheduler {
+func newScheduler(slots, maxPerGraph, queueDepth int) *scheduler {
 	if slots < 1 {
 		slots = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
 	}
 	return &scheduler{
 		slots:       slots,
 		free:        slots,
 		maxPerGraph: maxPerGraph,
+		queueDepth:  queueDepth,
 		leases:      make(map[*streamLease]struct{}),
 		perGraph:    make(map[string]int),
+		waiters:     make(map[string][]*admitWaiter),
+		queueWait:   obs.NewHistogram(),
+		holdDur:     obs.NewHistogram(),
 	}
+}
+
+// admitWaiter is one request parked in a graph's admission queue. ready is
+// closed by the admitting stream-close AFTER the graph's stream count was
+// incremented on the waiter's behalf, so admission can never overshoot the
+// cap no matter how the waiter's goroutine is scheduled.
+type admitWaiter struct {
+	ready chan struct{}
 }
 
 // streamLease is one active stream's membership in the scheduler: its
@@ -68,6 +103,7 @@ type streamLease struct {
 	graph  string
 	weight float64
 	cap    int // max slots held at once (>= 1)
+	opened time.Time
 
 	// All fields below are guarded by sched.mu.
 	granted int     // slots currently held
@@ -86,11 +122,34 @@ type streamLease struct {
 	results chan SampleResult
 }
 
-// open admits a new stream on graph, or fails with ErrStreamLimit when the
-// graph is at the engine's concurrent-stream cap. weight <= 0 takes the fair
-// default 1; cap is clamped to [1, slots]. results is the stream's delivery
-// buffer, recorded for the queue-depth gauge.
-func (s *scheduler) open(graph string, weight float64, cap int, results chan SampleResult) (*streamLease, error) {
+// newLeaseLocked builds and registers a lease. The caller holds s.mu and has
+// already accounted the stream in perGraph (directly below the cap check, or
+// as an admission reservation made by the closing stream that admitted it).
+func (s *scheduler) newLeaseLocked(graph string, weight float64, cap int, results chan SampleResult) *streamLease {
+	s.seq++
+	l := &streamLease{
+		sched:   s,
+		graph:   graph,
+		weight:  weight,
+		cap:     cap,
+		opened:  time.Now(),
+		pass:    s.vtime,
+		seq:     s.seq,
+		tokens:  make(chan struct{}, cap),
+		results: results,
+	}
+	s.leases[l] = struct{}{}
+	return l
+}
+
+// open admits a new stream on graph. weight <= 0 takes the fair default 1;
+// cap is clamped to [1, slots]; results is the stream's delivery buffer,
+// recorded for the queue-depth gauge. When the graph is at the engine's
+// concurrent-stream cap, the request waits in the graph's bounded admission
+// queue (blocking until admitted or ctx ends) if one is configured;
+// ErrStreamLimit is returned when there is no queue, the queue is full, or
+// ctx carries a deadline the live wait estimate says cannot be met.
+func (s *scheduler) open(ctx context.Context, graph string, weight float64, cap int, results chan SampleResult) (*streamLease, error) {
 	if weight <= 0 {
 		weight = 1
 	}
@@ -101,25 +160,135 @@ func (s *scheduler) open(graph string, weight float64, cap int, results chan Sam
 		cap = 1
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.maxPerGraph > 0 && s.perGraph[graph] >= s.maxPerGraph {
-		return nil, fmt.Errorf("%w: graph %q already has %d streams in flight (cap %d)",
-			ErrStreamLimit, graph, s.perGraph[graph], s.maxPerGraph)
+		if s.queueDepth <= 0 {
+			defer s.mu.Unlock()
+			return nil, fmt.Errorf("%w: graph %q already has %d streams in flight (cap %d)",
+				ErrStreamLimit, graph, s.perGraph[graph], s.maxPerGraph)
+		}
+		if queued := len(s.waiters[graph]); queued >= s.queueDepth {
+			defer s.mu.Unlock()
+			return nil, fmt.Errorf("%w: graph %q admission queue is full (%d active, %d queued, queue depth %d)",
+				ErrStreamLimit, graph, s.perGraph[graph], queued, s.queueDepth)
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			if est := s.estimatedWaitLocked(graph); est > 0 && time.Until(dl) < est {
+				defer s.mu.Unlock()
+				return nil, fmt.Errorf("%w: graph %q deadline cannot be met (estimated admission wait %v exceeds remaining %v)",
+					ErrStreamLimit, graph, est.Round(time.Millisecond), time.Until(dl).Round(time.Millisecond))
+			}
+		}
+		w := &admitWaiter{ready: make(chan struct{})}
+		s.waiters[graph] = append(s.waiters[graph], w)
+		s.mu.Unlock()
+		t0 := time.Now()
+		select {
+		case <-w.ready:
+			s.queueWait.Observe(time.Since(t0))
+		case <-ctx.Done():
+			s.mu.Lock()
+			if !s.removeWaiterLocked(graph, w) {
+				// Admission raced the cancellation: the reservation made on
+				// our behalf must flow to the next waiter (or back to the cap).
+				if s.perGraph[graph]--; s.perGraph[graph] <= 0 {
+					delete(s.perGraph, graph)
+				}
+				s.admitNextLocked(graph)
+			}
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		s.mu.Lock()
+		// perGraph was incremented by the admitting close; just build the lease.
+		l := s.newLeaseLocked(graph, weight, cap, results)
+		s.mu.Unlock()
+		return l, nil
 	}
-	s.seq++
-	l := &streamLease{
-		sched:   s,
-		graph:   graph,
-		weight:  weight,
-		cap:     cap,
-		pass:    s.vtime,
-		seq:     s.seq,
-		tokens:  make(chan struct{}, cap),
-		results: results,
-	}
-	s.leases[l] = struct{}{}
 	s.perGraph[graph]++
+	l := s.newLeaseLocked(graph, weight, cap, results)
+	s.mu.Unlock()
 	return l, nil
+}
+
+// removeWaiterLocked unlinks w from graph's queue, reporting whether it was
+// still queued (false: it was already admitted).
+func (s *scheduler) removeWaiterLocked(graph string, w *admitWaiter) bool {
+	q := s.waiters[graph]
+	for i, cand := range q {
+		if cand == w {
+			q = append(q[:i], q[i+1:]...)
+			if len(q) == 0 {
+				delete(s.waiters, graph)
+			} else {
+				s.waiters[graph] = q
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// admitNextLocked hands a freed admission on graph to the head of its queue:
+// the stream count is incremented on the waiter's behalf before its ready
+// channel closes, so the cap holds by construction.
+func (s *scheduler) admitNextLocked(graph string) {
+	q := s.waiters[graph]
+	if len(q) == 0 {
+		return
+	}
+	if s.maxPerGraph > 0 && s.perGraph[graph] >= s.maxPerGraph {
+		return
+	}
+	w := q[0]
+	if len(q) == 1 {
+		delete(s.waiters, graph)
+	} else {
+		s.waiters[graph] = q[1:]
+	}
+	s.perGraph[graph]++
+	close(w.ready)
+}
+
+// estimatedWaitLocked estimates how long a request arriving NOW would sit in
+// graph's admission queue, from live stats: measured queue waits when any
+// exist, else measured stream hold times scaled by the queue position, else
+// 0 (unknown — callers admit optimistically and let the deadline decide).
+func (s *scheduler) estimatedWaitLocked(graph string) time.Duration {
+	queued := len(s.waiters[graph])
+	if qw := s.queueWait.Snapshot(); qw.Count > 0 {
+		return time.Duration(qw.P50*float64(time.Second)) * time.Duration(queued+1)
+	}
+	if s.maxPerGraph > 0 {
+		if hd := s.holdDur.Snapshot(); hd.Count > 0 {
+			per := time.Duration(hd.P50 * float64(time.Second))
+			return per * time.Duration(queued+1) / time.Duration(s.maxPerGraph)
+		}
+	}
+	return 0
+}
+
+// QueueStats is a live snapshot of one graph's admission queue, the basis of
+// the serving layer's Retry-After computation and 429 body.
+type QueueStats struct {
+	// Queued is how many requests are parked in the graph's admission queue.
+	Queued int `json:"queued"`
+	// EstimatedWait is the live estimate of how long a request arriving now
+	// would wait for admission (0: no data yet — first contention).
+	EstimatedWait time.Duration `json:"-"`
+	// WaitP50 is the median measured admission-queue wait (0: none measured).
+	WaitP50 time.Duration `json:"-"`
+}
+
+// queueStats snapshots graph's admission queue.
+func (s *scheduler) queueStats(graph string) QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qs := QueueStats{Queued: len(s.waiters[graph])}
+	qs.EstimatedWait = s.estimatedWaitLocked(graph)
+	if qw := s.queueWait.Snapshot(); qw.Count > 0 {
+		qs.WaitP50 = time.Duration(qw.P50 * float64(time.Second))
+	}
+	return qs
 }
 
 // dispatch hands free slots to eligible waiters, lowest pass first. Called
@@ -162,6 +331,10 @@ func (l *streamLease) acquire(ctx context.Context) error {
 	s.mu.Unlock()
 	select {
 	case <-l.tokens:
+		if err := faultinject.Hook(faultinject.PointSchedAcquire); err != nil {
+			l.release()
+			return fmt.Errorf("engine: slot grant: %w", err)
+		}
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -190,7 +363,8 @@ func (l *streamLease) release() {
 }
 
 // close retires the lease once its stream has fully wound down (no acquires
-// in flight). Any token granted but never consumed is returned to the pool.
+// in flight). Any token granted but never consumed is returned to the pool,
+// and the freed admission goes to the head of the graph's admission queue.
 func (l *streamLease) close() {
 	s := l.sched
 	s.mu.Lock()
@@ -202,9 +376,11 @@ func (l *streamLease) close() {
 			s.free++
 		default:
 			delete(s.leases, l)
+			s.holdDur.Observe(time.Since(l.opened))
 			if s.perGraph[l.graph]--; s.perGraph[l.graph] <= 0 {
 				delete(s.perGraph, l.graph)
 			}
+			s.admitNextLocked(l.graph)
 			s.dispatch()
 			return
 		}
@@ -221,6 +397,9 @@ type StreamPoolMetrics struct {
 	SlotsInUse int `json:"slots_in_use"`
 	// ActiveStreams is the number of streams currently holding leases.
 	ActiveStreams int `json:"active_streams"`
+	// QueuedStreams is the number of requests parked in admission queues
+	// across all graphs, waiting for an active stream to close.
+	QueuedStreams int `json:"queued_streams"`
 	// WaitingAcquires is how many in-flight samples are parked waiting for a
 	// slot — persistent nonzero values mean the pool is the bottleneck.
 	WaitingAcquires int `json:"waiting_acquires"`
@@ -231,6 +410,9 @@ type StreamPoolMetrics struct {
 type GraphStreamMetrics struct {
 	// ActiveStreams is the number of this graph's streams currently open.
 	ActiveStreams int `json:"active_streams"`
+	// QueuedStreams is the number of requests parked in this graph's
+	// admission queue (hold-and-wait behind the concurrent-stream cap).
+	QueuedStreams int `json:"queued_streams"`
 	// SlotsInUse is how many pool slots this graph's streams hold right now.
 	SlotsInUse int `json:"slots_in_use"`
 	// QueueDepth is the total number of computed results sitting in this
@@ -253,7 +435,7 @@ func (s *scheduler) snapshot() (StreamPoolMetrics, map[string]GraphStreamMetrics
 		ActiveStreams: len(s.leases),
 	}
 	var byGraph map[string]GraphStreamMetrics
-	if len(s.leases) > 0 {
+	if len(s.leases) > 0 || len(s.waiters) > 0 {
 		byGraph = make(map[string]GraphStreamMetrics, len(s.perGraph))
 		for l := range s.leases {
 			g := byGraph[l.graph]
@@ -265,6 +447,12 @@ func (s *scheduler) snapshot() (StreamPoolMetrics, map[string]GraphStreamMetrics
 			}
 			byGraph[l.graph] = g
 			pool.WaitingAcquires += l.want
+		}
+		for key, q := range s.waiters {
+			g := byGraph[key]
+			g.QueuedStreams += len(q)
+			byGraph[key] = g
+			pool.QueuedStreams += len(q)
 		}
 	}
 	return pool, byGraph

@@ -20,12 +20,12 @@ import (
 // two workers so that at every release BOTH leases have a registered waiter
 // — the contended regime where weights decide.
 func TestSchedulerWeightedGrants(t *testing.T) {
-	s := newScheduler(1, 0)
-	heavy, err := s.open("g", 3, 1, nil)
+	s := newScheduler(1, 0, 0)
+	heavy, err := s.open(context.Background(), "g", 3, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	light, err := s.open("g", 1, 1, nil)
+	light, err := s.open(context.Background(), "g", 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

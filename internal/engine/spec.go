@@ -66,6 +66,14 @@ type SamplerSpec struct {
 	// not the pool: a lone capped stream leaves the rest of the pool idle
 	// for newcomers. Valid for every sampler.
 	MaxWorkers int `json:"max_workers,omitempty"`
+	// DeadlineMS is the request's end-to-end deadline in milliseconds
+	// (0: none). The deadline covers the whole stream — admission-queue wait,
+	// slot waits, and sampling — and exceeding it cancels the stream with
+	// ErrDeadlineExceeded (HTTP 504 at the serving layer); samples already
+	// delivered keep their bytes. Like Weight, deadlines never change WHICH
+	// tree an index produces, only whether the request runs to completion.
+	// Valid for every sampler.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 	// SimFidelity selects the simulator execution mode for the congested
 	// clique samplers: "" or "charged" (the serving default) charges the hot
 	// supersteps analytically from their communication patterns; "full"
@@ -121,6 +129,9 @@ func (s SamplerSpec) normalized() (SamplerSpec, error) {
 	}
 	if s.MaxWorkers < 0 {
 		return s, fmt.Errorf("engine: max workers must be >= 0, got %d", s.MaxWorkers)
+	}
+	if s.DeadlineMS < 0 {
+		return s, fmt.Errorf("engine: deadline must be >= 0 ms, got %d", s.DeadlineMS)
 	}
 	if !clique.Fidelity(s.SimFidelity).Valid() {
 		return s, fmt.Errorf("engine: unknown sim fidelity %q (want %q or %q)", s.SimFidelity, clique.FidelityCharged, clique.FidelityFull)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -107,6 +108,16 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 		ctx = context.Background()
 	}
 	e := s.eng
+	// The request deadline (SamplerSpec.DeadlineMS) covers the WHOLE stream
+	// from this point: admission-queue wait, slot waits, sampling, delivery.
+	// It travels as a context cause so every detection site can tell "the
+	// request ran out of ITS budget" (ErrDeadlineExceeded, HTTP 504) apart
+	// from ambient cancellation.
+	var timeoutCancel context.CancelFunc = func() {}
+	if spec.DeadlineMS > 0 {
+		ctx, timeoutCancel = context.WithTimeoutCause(ctx,
+			time.Duration(spec.DeadlineMS)*time.Millisecond, ErrDeadlineExceeded)
+	}
 	maxWorkers := spec.MaxWorkers
 	if maxWorkers <= 0 {
 		maxWorkers = req.Workers
@@ -130,8 +141,17 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 		results: make(chan SampleResult, buffer),
 		done:    make(chan struct{}),
 	}
-	lease, err := e.sched.open(s.ent.key, spec.Weight, maxWorkers, st.results)
+	// Admission: under the graph's stream cap this returns immediately; at
+	// the cap it parks in the graph's bounded admission queue (hold-and-wait)
+	// until a stream closes, the queue overflows (ErrStreamLimit), or the
+	// deadline fires.
+	lease, err := e.sched.open(ctx, s.ent.key, spec.Weight, maxWorkers, st.results)
 	if err != nil {
+		timeoutCancel()
+		if !errors.Is(err, ErrStreamLimit) && ctx.Err() != nil {
+			e.noteDeadline(ctx, stageAdmission)
+			return nil, fmt.Errorf("engine: admission: %w", context.Cause(ctx))
+		}
 		return nil, err
 	}
 	e.streams.Add(1)
@@ -152,7 +172,13 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 		ownTrace = tr != nil
 	}
 
-	ctx, cancel := context.WithCancel(ctx)
+	// The cancel cause distinguishes how the stream died: the request
+	// deadline (inherited cause ErrDeadlineExceeded), a server drain
+	// (AbortStreams passes ErrDraining), or plain cancellation. The stream
+	// registers its cancel with the engine so AbortStreams can reach it.
+	ctx, cancelCause := context.WithCancelCause(ctx)
+	cancel := func() { cancelCause(nil) }
+	e.registerCancel(st, cancelCause)
 	// inflight gates the feeder on delivery capacity: a sample may only
 	// launch when a buffer slot is reserved for its result, so a stream
 	// whose consumer stalls stops acquiring pool slots once the buffer
@@ -167,6 +193,7 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 			select {
 			case inflight <- struct{}{}:
 			case <-ctx.Done():
+				e.noteDeadline(ctx, stageDispatch)
 				break feed
 			}
 			// Queue wait: how long this sample sat waiting for a pool slot
@@ -179,6 +206,18 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 			waitSp.End()
 			if err != nil {
 				<-inflight
+				if ctx.Err() == nil {
+					// Not a cancellation: the slot grant itself failed (fault
+					// injection or a future scheduler error path). Type it and
+					// abort the stream rather than ending silently short.
+					select {
+					case errc <- fmt.Errorf("%w: sample %d of %q: %w", ErrSampleFailed, i, s.ent.key, err):
+					default:
+					}
+					cancel()
+				} else {
+					e.noteDeadline(ctx, stageSlotWait)
+				}
 				break feed
 			}
 			wg.Add(1)
@@ -197,7 +236,7 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 				lease.release()
 				if err != nil {
 					select {
-					case errc <- fmt.Errorf("%w: sample %d of %q: %v", ErrSampleFailed, i, s.ent.key, err):
+					case errc <- fmt.Errorf("%w: sample %d of %q: %w", ErrSampleFailed, i, s.ent.key, err):
 					default:
 					}
 					cancel()
@@ -211,6 +250,7 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 				case st.results <- res:
 					e.samples.Add(1)
 				case <-ctx.Done():
+					e.noteDeadline(ctx, stageDeliver)
 				}
 			}(i)
 		}
@@ -221,15 +261,20 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 			st.err = err
 			e.aborted.Add(1)
 		default:
-			if err := ctx.Err(); err != nil {
-				st.err = fmt.Errorf("engine: stream canceled: %w", err)
+			if ctx.Err() != nil {
+				// context.Cause surfaces WHY: the request's own deadline
+				// (ErrDeadlineExceeded), a server drain (ErrDraining), or the
+				// caller's plain cancellation (the context error itself).
+				st.err = fmt.Errorf("engine: stream canceled: %w", context.Cause(ctx))
 				e.aborted.Add(1)
 			}
 		}
 		if ownTrace {
 			tr.Finish()
 		}
+		e.deregisterCancel(st)
 		cancel()
+		timeoutCancel()
 		close(st.done)
 		close(st.results)
 	}()

@@ -1,0 +1,303 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site. The constants below are the complete set
+// of sites threaded through the codebase; Set rejects unknown names so a
+// typo in a test or a SPANTREED_FAULT spec fails loudly instead of silently
+// injecting nothing.
+type Point string
+
+// The injection sites. Each name is `package/operation[/detail]`.
+const (
+	// PointBlobRead fires at the top of blobstore.Get, before the blob file
+	// is read: an Err here models an I/O read failure (the Get misses and the
+	// caller recomputes), a Delay models a slow disk.
+	PointBlobRead Point = "blobstore/get/read"
+	// PointBlobReadBytes mutates the raw blob bytes after the file read but
+	// BEFORE checksum verification: short reads and bit flips injected here
+	// must be caught by the blob checksum (discard + recompute).
+	PointBlobReadBytes Point = "blobstore/get/bytes"
+	// PointBlobPayload mutates the verified payload AFTER the checksum
+	// window: damage injected here reaches the restore layer, whose own
+	// content validation must reject it (discard + recompute) — the blob
+	// checksum can no longer help.
+	PointBlobPayload Point = "blobstore/get/payload"
+	// PointBlobPut fires at the top of blobstore.Put: an Err models a failed
+	// snapshot write (the save is dropped with a warning; serving continues).
+	PointBlobPut Point = "blobstore/put"
+	// PointPhaseImport mutates a phase-cache export payload before
+	// phasecache.Import decodes it on restart.
+	PointPhaseImport Point = "phasecache/import"
+	// PointSchedAcquire fires after a stream sample is granted a worker-pool
+	// slot: an Err fails that sample (the stream aborts with a typed error),
+	// a Delay models a stalled grant.
+	PointSchedAcquire Point = "scheduler/acquire"
+	// PointSample fires at the top of every engine sample dispatch: Panic
+	// here exercises the per-sample panic isolation, Err a sampler runtime
+	// failure, Delay a slow sampler.
+	PointSample Point = "engine/sample"
+)
+
+// points lists every valid injection site for Set/Configure validation.
+var points = map[Point]struct{}{
+	PointBlobRead:      {},
+	PointBlobReadBytes: {},
+	PointBlobPayload:   {},
+	PointBlobPut:       {},
+	PointPhaseImport:   {},
+	PointSchedAcquire:  {},
+	PointSample:        {},
+}
+
+// Fault describes what happens when an armed injection site fires. Exactly
+// the set fields apply: Delay sleeps first, then Panic panics, then Err is
+// returned; Mutate only applies at byte-mutating sites (MutateBytes).
+type Fault struct {
+	// Err is returned by Hook at the site (sites document how they treat it).
+	Err error
+	// Delay is slept before the site proceeds (slow I/O, stalled grants).
+	Delay time.Duration
+	// Panic, when non-empty, makes Hook panic with this message.
+	Panic string
+	// Mutate transforms the bytes flowing through a MutateBytes site
+	// (corruption, truncation). It must not modify its argument in place if
+	// the caller may retry; returning a fresh slice is always safe.
+	Mutate func([]byte) []byte
+	// After skips the first After firings of the site (fault the Nth
+	// operation, not the first).
+	After int64
+	// Times bounds how often the fault fires (0: every time once past
+	// After). A fired count excludes skipped firings.
+	Times int64
+}
+
+// armedFault is a registered Fault plus its firing counters (kept out of the
+// plain-value Fault so callers can pass faults by value).
+type armedFault struct {
+	Fault
+	fired atomic.Int64
+	seen  atomic.Int64
+}
+
+// armed reports whether this firing should inject, maintaining the
+// After/Times windows.
+func (f *armedFault) armed() bool {
+	if f.seen.Add(1) <= f.After {
+		return false
+	}
+	if f.Times > 0 && f.fired.Load() >= f.Times {
+		return false
+	}
+	f.fired.Add(1)
+	return true
+}
+
+// registry is the process-wide fault table. The active flag is the fast
+// path: while no fault is armed every Hook/MutateBytes call is one relaxed
+// atomic load and an immediate return, so production binaries pay nothing
+// for carrying the sites.
+var (
+	active atomic.Bool
+	mu     sync.Mutex
+	faults map[Point]*armedFault
+	hits   map[Point]*atomic.Int64
+)
+
+// Set arms a fault at the named site (replacing any previous fault there)
+// and enables injection. It returns an error for unknown site names.
+func Set(p Point, f Fault) error {
+	if _, ok := points[p]; !ok {
+		return fmt.Errorf("faultinject: unknown injection point %q", p)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = make(map[Point]*armedFault)
+		hits = make(map[Point]*atomic.Int64)
+	}
+	faults[p] = &armedFault{Fault: f}
+	if hits[p] == nil {
+		hits[p] = &atomic.Int64{}
+	}
+	active.Store(true)
+	return nil
+}
+
+// Clear disarms the named site. Other sites stay armed.
+func Clear(p Point) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(faults, p)
+	if len(faults) == 0 {
+		active.Store(false)
+	}
+}
+
+// Reset disarms every site and zeroes the hit counters — the test-teardown
+// call. After Reset the package is back to its zero-cost disabled state.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = nil
+	hits = nil
+	active.Store(false)
+}
+
+// Hits reports how many times the named site actually injected (not merely
+// executed) since the last Reset — tests assert the fault they configured
+// really fired, so a silently skipped injection point cannot pass as
+// resilience.
+func Hits(p Point) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if h := hits[p]; h != nil {
+		return h.Load()
+	}
+	return 0
+}
+
+// lookup returns the armed fault for p, or nil. Fast path is lock-free.
+func lookup(p Point) *armedFault {
+	if !active.Load() {
+		return nil
+	}
+	mu.Lock()
+	f := faults[p]
+	h := hits[p]
+	mu.Unlock()
+	if f == nil || !f.armed() {
+		return nil
+	}
+	if h != nil {
+		h.Add(1)
+	}
+	return f
+}
+
+// Hook fires the named site: nil (and near-zero cost) when no fault is
+// armed; otherwise it sleeps Delay, panics Panic, and returns Err, in that
+// order. Call it at error-capable sites.
+func Hook(p Point) error {
+	f := lookup(p)
+	if f == nil {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != "" {
+		panic("faultinject: " + f.Panic)
+	}
+	return f.Err
+}
+
+// MutateBytes fires the named site on a byte payload: the input is returned
+// untouched when no fault is armed; an armed Mutate transforms it (after
+// any Delay). Sites that also want an error path pair this with Hook.
+func MutateBytes(p Point, b []byte) []byte {
+	f := lookup(p)
+	if f == nil {
+		return b
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Mutate != nil {
+		return f.Mutate(b)
+	}
+	return b
+}
+
+// ErrInjected is the generic error Configure's "error" action injects;
+// layers under test report it like any other I/O failure.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Configure arms faults from a compact spec string — the SPANTREED_FAULT
+// surface for daemon-level chaos smoke tests:
+//
+//	point=action[:arg][;point=action...]
+//
+// Actions: "error" (return ErrInjected), "delay:<duration>", "panic[:msg]",
+// "shortread:<n>" (truncate the payload to n bytes), "flipbit:<offset>"
+// (XOR bit 0 of byte offset, modulo length). An action may be prefixed
+// "after<N>-" to skip the first N firings, e.g. "after2-error".
+func Configure(spec string) error {
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, action, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("faultinject: bad spec %q (want point=action)", part)
+		}
+		var f Fault
+		if rest, found := strings.CutPrefix(action, "after"); found {
+			numStr, tail, ok2 := strings.Cut(rest, "-")
+			if !ok2 {
+				return fmt.Errorf("faultinject: bad after prefix in %q", part)
+			}
+			n, err := strconv.ParseInt(numStr, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("faultinject: bad after count in %q", part)
+			}
+			f.After = n
+			action = tail
+		}
+		verb, arg, _ := strings.Cut(action, ":")
+		switch verb {
+		case "error":
+			f.Err = ErrInjected
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("faultinject: bad delay in %q: %w", part, err)
+			}
+			f.Delay = d
+		case "panic":
+			if arg == "" {
+				arg = "injected panic"
+			}
+			f.Panic = arg
+		case "shortread":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return fmt.Errorf("faultinject: bad shortread length in %q", part)
+			}
+			f.Mutate = func(b []byte) []byte {
+				if len(b) <= n {
+					return b
+				}
+				return b[:n]
+			}
+		case "flipbit":
+			off, err := strconv.Atoi(arg)
+			if err != nil || off < 0 {
+				return fmt.Errorf("faultinject: bad flipbit offset in %q", part)
+			}
+			f.Mutate = func(b []byte) []byte {
+				if len(b) == 0 {
+					return b
+				}
+				out := append([]byte(nil), b...)
+				out[off%len(out)] ^= 1
+				return out
+			}
+		default:
+			return fmt.Errorf("faultinject: unknown action %q in %q", verb, part)
+		}
+		if err := Set(Point(name), f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

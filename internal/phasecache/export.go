@@ -9,13 +9,14 @@ import (
 
 // ExportVersion identifies the Export wire format. The blobstore keys
 // exported-cache blobs by it, so bumping it orphans (never corrupts) old
-// exports.
-const ExportVersion uint32 = 1
+// exports. Version 2 adds a length prefix to every entry frame so a damaged
+// frame can be skipped without abandoning the rest of the payload.
+const ExportVersion uint32 = 2
 
 // exportMagic heads every export payload: a cheap self-describing check in
 // front of the per-entry decoding (the blobstore's checksum already rules out
 // accidental damage; this rules out decoding some other artifact kind).
-var exportMagic = [4]byte{'P', 'C', 'X', '1'}
+var exportMagic = [4]byte{'P', 'C', 'X', '2'}
 
 // maxExportMembers bounds a decoded entry's member count, mirroring the
 // matrix codec's dimension guard.
@@ -26,6 +27,11 @@ const maxExportMembers = 1 << 20
 // exceed maxBytes (<= 0: no limit). It returns the payload and the number of
 // entries included. Entries of other scopes are skipped — a shared cache
 // exports per-Prepared slices, each stored under its own blobstore key.
+//
+// Layout: magic, uint32 entry count, then per entry a uint32 frame length
+// followed by the frame body (member count + members, shortcut matrix, power
+// table). The per-frame length lets Import step over a frame whose BODY is
+// damaged and still recover every other entry.
 //
 // The encoding reuses the deterministic bit-exact matrix codec, so an
 // exported entry re-imported into a fresh process serves byte-identical
@@ -59,9 +65,10 @@ func (c *Cache) Export(scope uint64, maxBytes int64) ([]byte, int, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("phasecache: export: %w", err)
 		}
-		if maxBytes > 0 && int64(len(buf)+len(frame)) > maxBytes {
+		if maxBytes > 0 && int64(len(buf)+4+len(frame)) > maxBytes {
 			break
 		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(frame)))
 		buf = append(buf, frame...)
 		count++
 	}
@@ -69,16 +76,54 @@ func (c *Cache) Export(scope uint64, maxBytes int64) ([]byte, int, error) {
 	return buf, count, nil
 }
 
+// decodeFrame decodes one export frame body into an Entry under scope. The
+// body must decode exactly — leftover bytes mean the frame is damaged.
+func decodeFrame(scope uint64, body []byte) (*Entry, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("truncated member header (%d bytes)", len(body))
+	}
+	nm := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if nm <= 0 || nm > maxExportMembers {
+		return nil, fmt.Errorf("invalid member count %d", nm)
+	}
+	if len(body) < nm*8 {
+		return nil, fmt.Errorf("truncated member list")
+	}
+	members := make([]int, nm)
+	for j := range members {
+		members[j] = int(binary.LittleEndian.Uint64(body[j*8:]))
+	}
+	body = body[nm*8:]
+	sc, body, err := matrix.DecodeBinary(body)
+	if err != nil {
+		return nil, fmt.Errorf("shortcut: %w", err)
+	}
+	pd, body, err := matrix.DecodePowerDyadic(body)
+	if err != nil {
+		return nil, fmt.Errorf("powers: %w", err)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in frame", len(body))
+	}
+	return &Entry{Scope: scope, Members: members, Shortcut: sc, Powers: pd}, nil
+}
+
 // Import installs previously exported entries into the cache under scope,
 // replacing whatever scope the exporter used (the importing Prepared owns a
 // fresh scope in a fresh process). Entries arrive hottest-first in the
 // payload and are inserted in reverse, so after Import the cache's recency
-// order matches the exporter's. Returns the number of entries installed.
+// order matches the exporter's.
 //
-// A decoding error abandons the import and reports it — the caller treats
-// the payload as corrupt (the blobstore discards the blob) and starts cold;
-// entries installed before the error are valid (each is individually
-// verified) and are left in place.
+// Damage tolerance: a frame whose BODY fails to decode is skipped — its
+// length prefix tells Import where the next frame starts — and every other
+// frame is still installed; the error reports the first skip so the caller
+// can discard the blob (the next drain's flush rewrites it). Damage to the
+// FRAMING itself (bad magic, a length prefix pointing past the payload,
+// trailing bytes) stops the import where it stands, keeping the frames
+// already decoded. Import therefore returns both the number of entries
+// installed and the error; each installed entry was individually verified, so
+// partial imports are always safe to keep.
 func (c *Cache) Import(scope uint64, data []byte) (int, error) {
 	if c == nil {
 		return 0, nil
@@ -94,42 +139,44 @@ func (c *Cache) Import(scope uint64, data []byte) (int, error) {
 	if count < 0 || count > maxExportMembers {
 		return 0, fmt.Errorf("phasecache: import: invalid entry count %d", count)
 	}
-	entries := make([]*Entry, 0, count)
+	var (
+		entries  = make([]*Entry, 0, count)
+		firstErr error
+	)
+	noteErr := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 	for i := 0; i < count; i++ {
 		if len(data) < 4 {
-			return 0, fmt.Errorf("phasecache: import: entry %d: truncated member header", i)
+			noteErr(fmt.Errorf("phasecache: import: entry %d: truncated frame header", i))
+			break
 		}
-		nm := int(binary.LittleEndian.Uint32(data))
+		frameLen := int(binary.LittleEndian.Uint32(data))
 		data = data[4:]
-		if nm <= 0 || nm > maxExportMembers {
-			return 0, fmt.Errorf("phasecache: import: entry %d: invalid member count %d", i, nm)
+		if frameLen < 0 || frameLen > len(data) {
+			// The length prefix itself is damaged: there is no trustworthy way
+			// to find the next frame, so stop here with what we have.
+			noteErr(fmt.Errorf("phasecache: import: entry %d: frame length %d exceeds remaining %d bytes", i, frameLen, len(data)))
+			break
 		}
-		if len(data) < nm*8 {
-			return 0, fmt.Errorf("phasecache: import: entry %d: truncated member list", i)
+		body := data[:frameLen]
+		data = data[frameLen:]
+		e, err := decodeFrame(scope, body)
+		if err != nil {
+			// The frame body is damaged but its bounds are known: skip it and
+			// keep importing the rest.
+			noteErr(fmt.Errorf("phasecache: import: entry %d skipped: %w", i, err))
+			continue
 		}
-		members := make([]int, nm)
-		for j := range members {
-			members[j] = int(binary.LittleEndian.Uint64(data[j*8:]))
-		}
-		data = data[nm*8:]
-		var (
-			sc  *matrix.Matrix
-			pd  *matrix.PowerDyadic
-			err error
-		)
-		if sc, data, err = matrix.DecodeBinary(data); err != nil {
-			return 0, fmt.Errorf("phasecache: import: entry %d: shortcut: %w", i, err)
-		}
-		if pd, data, err = matrix.DecodePowerDyadic(data); err != nil {
-			return 0, fmt.Errorf("phasecache: import: entry %d: powers: %w", i, err)
-		}
-		entries = append(entries, &Entry{Scope: scope, Members: members, Shortcut: sc, Powers: pd})
+		entries = append(entries, e)
 	}
-	if len(data) != 0 {
-		return 0, fmt.Errorf("phasecache: import: %d trailing bytes", len(data))
+	if firstErr == nil && len(data) != 0 {
+		firstErr = fmt.Errorf("phasecache: import: %d trailing bytes", len(data))
 	}
 	for i := len(entries) - 1; i >= 0; i-- {
 		c.Put(entries[i])
 	}
-	return len(entries), nil
+	return len(entries), firstErr
 }

@@ -2,6 +2,7 @@ package phasecache
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/matrix"
@@ -133,6 +134,88 @@ func TestImportRejectsDamage(t *testing.T) {
 		dst := New(1 << 20)
 		if _, err := dst.Import(1, b); err == nil {
 			t.Errorf("%s: import accepted damaged payload", name)
+		}
+	}
+}
+
+// exportThree builds a three-entry export under scope 7 and returns the
+// payload plus the entries hottest-first (the payload's frame order).
+func exportThree(t *testing.T) ([]byte, []*Entry) {
+	t.Helper()
+	src := New(1 << 20)
+	e1 := exportEntry(7, []int{0, 1}, 2)
+	e2 := exportEntry(7, []int{2, 3, 4}, 3)
+	e3 := exportEntry(7, []int{5, 6}, 2)
+	src.Put(e1)
+	src.Put(e2)
+	src.Put(e3) // e3 hottest
+	data, n, err := src.Export(7, 0)
+	if err != nil || n != 3 {
+		t.Fatalf("export: %d entries, %v", n, err)
+	}
+	return data, []*Entry{e3, e2, e1}
+}
+
+// frameBounds returns the [start, end) byte range of frame i's body in a v2
+// payload, walking the length prefixes.
+func frameBounds(t *testing.T, data []byte, i int) (int, int) {
+	t.Helper()
+	off := 8
+	for k := 0; ; k++ {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if k == i {
+			return off, off + n
+		}
+		off += n
+	}
+}
+
+func TestImportSkipsDamagedFrame(t *testing.T) {
+	data, hot := exportThree(t)
+	// Corrupt the middle frame's body (its member count) — the length
+	// prefixes still frame the payload, so import must step over the damaged
+	// frame, keep the other two, and report the skip.
+	start, _ := frameBounds(t, data, 1)
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[start:], uint32(maxExportMembers+1))
+	dst := New(1 << 20)
+	got, err := dst.Import(11, bad)
+	if err == nil {
+		t.Fatal("import of a damaged frame reported no error")
+	}
+	if got != 2 {
+		t.Fatalf("imported %d entries, want 2 (bad frame skipped)", got)
+	}
+	for _, e := range []*Entry{hot[0], hot[2]} {
+		if _, ok := dst.Get(11, e.Members); !ok {
+			t.Errorf("undamaged entry %v lost alongside the damaged frame", e.Members)
+		}
+	}
+	if _, ok := dst.Get(11, hot[1].Members); ok {
+		t.Error("damaged frame was imported")
+	}
+}
+
+func TestImportStopsOnBadLengthPrefix(t *testing.T) {
+	data, hot := exportThree(t)
+	// Corrupt the LAST frame's length prefix to point past the payload: the
+	// framing itself is untrustworthy there, so import stops — but the two
+	// frames before the damage are kept.
+	start, _ := frameBounds(t, data, 2)
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[start-4:], uint32(1<<30))
+	dst := New(1 << 20)
+	got, err := dst.Import(11, bad)
+	if err == nil {
+		t.Fatal("import with a damaged length prefix reported no error")
+	}
+	if got != 2 {
+		t.Fatalf("imported %d entries, want the 2 before the damage", got)
+	}
+	for _, e := range hot[:2] {
+		if _, ok := dst.Get(11, e.Members); !ok {
+			t.Errorf("entry %v before the damage was lost", e.Members)
 		}
 	}
 }

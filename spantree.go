@@ -113,6 +113,7 @@ type options struct {
 	cacheTotalMB  int
 	streamWorkers int
 	maxStreams    int
+	admitQueue    int
 	traceEvery    int
 	traceRing     int
 	dataDir       string
@@ -262,6 +263,25 @@ func WithMaxStreamsPerGraph(n int) Option {
 			return fmt.Errorf("spantree: max streams per graph must be >= 0, got %d", n)
 		}
 		o.maxStreams = n
+		return nil
+	}
+}
+
+// WithAdmissionQueue turns the WithMaxStreamsPerGraph cap's hard rejection
+// into hold-and-wait admission: up to n requests per graph wait in a bounded
+// FIFO when the graph is at its stream cap, each admitted as an active
+// stream closes. ErrStreamLimit then fires only when the queue itself is
+// full, or when a request's deadline (SamplerSpec.DeadlineMS) provably
+// cannot be met given the measured queue wait. Queued requests produce
+// byte-identical output to uncontended ones — admission delays scheduling,
+// never sampling results. 0 (the default) keeps the fail-fast 429 behavior;
+// meaningless without WithMaxStreamsPerGraph. Engine-only.
+func WithAdmissionQueue(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("spantree: admission queue depth must be >= 0, got %d", n)
+		}
+		o.admitQueue = n
 		return nil
 	}
 }
@@ -557,12 +577,21 @@ type GraphInfo = engine.GraphInfo
 // ErrUnknownSampler marks requests naming a sampler the engine doesn't know
 // (HTTP 400); ErrSampleFailed marks a batch aborted by a sampler's runtime
 // failure on a well-formed request (HTTP 500); ErrStreamLimit marks a stream
-// rejected because its graph is at the WithMaxStreamsPerGraph cap (HTTP 429).
+// rejected because its graph is at the WithMaxStreamsPerGraph cap and, with
+// WithAdmissionQueue, its admission queue is full or its deadline cannot be
+// met (HTTP 429); ErrSamplePanic marks a sample whose worker panicked — it
+// also matches ErrSampleFailed, and the engine stays up (HTTP 500);
+// ErrDeadlineExceeded marks a request that ran out of its own
+// SamplerSpec.DeadlineMS budget (HTTP 504); ErrDraining marks streams
+// canceled by a shutting-down server's bounded drain (HTTP 503).
 var (
-	ErrUnknownGraph   = engine.ErrUnknownGraph
-	ErrUnknownSampler = engine.ErrUnknownSampler
-	ErrSampleFailed   = engine.ErrSampleFailed
-	ErrStreamLimit    = engine.ErrStreamLimit
+	ErrUnknownGraph     = engine.ErrUnknownGraph
+	ErrUnknownSampler   = engine.ErrUnknownSampler
+	ErrSampleFailed     = engine.ErrSampleFailed
+	ErrStreamLimit      = engine.ErrStreamLimit
+	ErrSamplePanic      = engine.ErrSamplePanic
+	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
+	ErrDraining         = engine.ErrDraining
 )
 
 // Observability re-exports for serving layers built on the facade (the
@@ -595,6 +624,11 @@ type StreamPoolMetrics = engine.StreamPoolMetrics
 // gauges (EngineMetrics.StreamsByGraph).
 type GraphStreamMetrics = engine.GraphStreamMetrics
 
+// QueueStats is a live snapshot of one graph's admission queue
+// (Engine.QueueStats) — what spantreed's 429 responses compute Retry-After
+// and the queued/queue-wait body fields from.
+type QueueStats = engine.QueueStats
+
 // NewEngine returns a batch-sampling engine. workers <= 0 defaults the pool
 // width to GOMAXPROCS. The options configure the phase and exact samplers
 // exactly as they do Sample; WithSeed is ignored — batch requests carry
@@ -612,14 +646,15 @@ func NewEngine(workers int, opts ...Option) (*Engine, error) {
 		}
 	}
 	return engine.New(engine.Options{
-		Workers:            workers,
-		Config:             o.cfg,
-		PhaseCacheTotalMB:  o.cacheTotalMB,
-		StreamWorkers:      o.streamWorkers,
-		MaxStreamsPerGraph: o.maxStreams,
-		TraceSampleEvery:   o.traceEvery,
-		TraceRing:          o.traceRing,
-		Store:              store,
+		Workers:             workers,
+		Config:              o.cfg,
+		PhaseCacheTotalMB:   o.cacheTotalMB,
+		StreamWorkers:       o.streamWorkers,
+		MaxStreamsPerGraph:  o.maxStreams,
+		AdmissionQueueDepth: o.admitQueue,
+		TraceSampleEvery:    o.traceEvery,
+		TraceRing:           o.traceRing,
+		Store:               store,
 	}), nil
 }
 
