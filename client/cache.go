@@ -1,0 +1,181 @@
+package client
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// CachingClient memoizes Sample batches over any inner Client. The cache key
+// is (graph content digest, sampler, seed base, k, include_trees) — never
+// the registry key — so determinism guarantees a hit is byte-identical to
+// what the server would return, and re-registering a DIFFERENT graph under a
+// reused key can never serve stale entries (its digest differs). Workers and
+// deadlines are deliberately excluded from the key: they change scheduling,
+// not bytes.
+//
+// Streams, registration, and listings pass through uncached. The key→digest
+// mapping is itself cached; Forget drops it (and Register/Deregister through
+// this client do so automatically) so the next Sample re-resolves it.
+type CachingClient struct {
+	inner Client
+
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List               // front = most recent; values are *cacheEntry
+	entries  map[string]*list.Element // cache key → lru element
+	digests  map[string]string        // registry key → content digest
+	hits     int64
+	misses   int64
+	evicts   int64
+}
+
+type cacheEntry struct {
+	key string
+	res *SampleResult
+}
+
+var _ Client = (*CachingClient)(nil)
+
+// NewCaching wraps inner with an LRU result cache holding up to capacity
+// Sample batches (default 128 when capacity <= 0).
+func NewCaching(inner Client, capacity int) *CachingClient {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &CachingClient{
+		inner:    inner,
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		digests:  make(map[string]string),
+	}
+}
+
+// digestFor resolves key's content digest, consulting the local mapping
+// before asking the server.
+func (c *CachingClient) digestFor(ctx context.Context, key string) (string, error) {
+	c.mu.Lock()
+	d, cached := c.digests[key]
+	c.mu.Unlock()
+	if cached {
+		return d, nil
+	}
+	info, err := c.inner.Info(ctx, key)
+	if err != nil {
+		return "", err
+	}
+	if info.Digest == "" {
+		return "", fmt.Errorf("client: server reported no digest for %q (pre-digest server?)", key)
+	}
+	c.mu.Lock()
+	c.digests[key] = info.Digest
+	c.mu.Unlock()
+	return info.Digest, nil
+}
+
+func cacheKey(digest string, req SampleRequest) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%t", digest, req.Sampler, req.SeedBase, req.K, req.IncludeTrees)
+}
+
+// Sample serves from cache when the (digest, spec, seed base, window) batch
+// has been drawn before, delegating to the inner client otherwise.
+func (c *CachingClient) Sample(ctx context.Context, req SampleRequest) (*SampleResult, error) {
+	digest, err := c.digestFor(ctx, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	ck := cacheKey(digest, req)
+	c.mu.Lock()
+	if el, hit := c.entries[ck]; hit {
+		c.lru.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	res, err := c.inner.Sample(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, raced := c.entries[ck]; !raced {
+		c.entries[ck] = c.lru.PushFront(&cacheEntry{key: ck, res: res})
+		for c.lru.Len() > c.capacity {
+			old := c.lru.Back()
+			c.lru.Remove(old)
+			delete(c.entries, old.Value.(*cacheEntry).key)
+			c.evicts++
+		}
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Forget drops key's digest mapping so the next Sample re-resolves it —
+// call after mutating a graph's registration outside this client. Cached
+// results stay: they are keyed by content digest and remain valid for any
+// key that resolves to the same graph.
+func (c *CachingClient) Forget(key string) {
+	c.mu.Lock()
+	delete(c.digests, key)
+	c.mu.Unlock()
+}
+
+// Register passes through and drops any stale digest mapping for the key.
+func (c *CachingClient) Register(ctx context.Context, req RegisterRequest) (GraphInfo, error) {
+	c.Forget(req.Key)
+	info, err := c.inner.Register(ctx, req)
+	if err == nil && info.Digest != "" {
+		c.mu.Lock()
+		c.digests[req.Key] = info.Digest
+		c.mu.Unlock()
+	}
+	return info, err
+}
+
+// Deregister passes through and drops the key's digest mapping.
+func (c *CachingClient) Deregister(ctx context.Context, key string) error {
+	c.Forget(key)
+	return c.inner.Deregister(ctx, key)
+}
+
+// Graphs passes through.
+func (c *CachingClient) Graphs(ctx context.Context) ([]GraphInfo, error) {
+	return c.inner.Graphs(ctx)
+}
+
+// Info passes through (and refreshes the digest mapping on success).
+func (c *CachingClient) Info(ctx context.Context, key string) (GraphInfo, error) {
+	info, err := c.inner.Info(ctx, key)
+	if err == nil && info.Digest != "" {
+		c.mu.Lock()
+		c.digests[key] = info.Digest
+		c.mu.Unlock()
+	}
+	return info, err
+}
+
+// Stream passes through: streams are consumed incrementally and usually
+// huge; memoizing them would duplicate the engine's own caches.
+func (c *CachingClient) Stream(ctx context.Context, key string, req StreamRequest) (*Stream, error) {
+	return c.inner.Stream(ctx, key, req)
+}
+
+// CacheMetrics is a snapshot of the result cache's counters.
+type CacheMetrics struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// Metrics snapshots the cache counters.
+func (c *CachingClient) Metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{Hits: c.hits, Misses: c.misses, Evictions: c.evicts, Entries: c.lru.Len()}
+}

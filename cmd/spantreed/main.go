@@ -54,7 +54,8 @@
 //
 // Endpoints:
 //
-//	GET    /healthz              liveness probe
+//	GET    /healthz              liveness probe (200 for the process lifetime)
+//	GET    /readyz               readiness: 200 once warm, 503 while loading or draining
 //	GET    /metrics              Prometheus text exposition
 //	GET    /v1/traces            recent request traces as JSON (?limit=N)
 //	GET    /v1/graphs            list registered graphs
@@ -83,6 +84,17 @@
 // default) leaves the API open. -tls-cert/-tls-key serve HTTPS instead of
 // HTTP — set both to close the hardening-before-exposure loop alongside
 // auth.
+//
+// Clustering: -mode router turns the binary into a stateless coordinator
+// over -peers (comma-separated replica endpoints): it serves the same /v1/*
+// surface, consistent-hashes each graph key onto -replication replicas,
+// fails over on connect errors/timeouts/5xx, probes peer /readyz every
+// -probe-interval, and replays graph registrations onto recovered replicas.
+// Streams proxied through the router splice across a replica death with
+// exactly-once indices. -peer-auth-token (or $SPANTREED_PEER_AUTH_TOKEN)
+// is the bearer token the router sends to replicas; -auth-token still
+// guards the router's own /v1/* surface. See cmd/spantreed/router.go and
+// the client package for the pieces this mode composes.
 //
 // Batches are byte-identical for a fixed (graph, sampler spec, seed_base, k)
 // regardless of worker count; stream lines may arrive out of index order but
@@ -129,6 +141,11 @@ func main() {
 func run() error {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
+		mode          = flag.String("mode", "serve", `"serve" (single replica) or "router" (cluster coordinator proxying /v1/* onto -peers)`)
+		peers         = flag.String("peers", "", "router mode: comma-separated replica endpoints (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
+		replication   = flag.Int("replication", 2, "router mode: replicas serving each graph key (R-way consistent-hash replica sets; 0 or >= peer count: every peer)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "router mode: peer /readyz probe period feeding the per-peer circuit breakers (0: passive marking only)")
+		peerToken     = flag.String("peer-auth-token", "", "router mode: bearer token sent to replicas (empty: $SPANTREED_PEER_AUTH_TOKEN, else the incoming -auth-token)")
 		workers       = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
 		streamWorkers = flag.Int("stream-workers", 0, "engine-wide stream worker pool width shared by all concurrent streams (0: same as -workers)")
 		maxStreams    = flag.Int("max-streams-per-graph", 0, "max concurrent sampling jobs per graph (streams AND /v1/sample | /v1/audit batches); excess requests get 429 (0: unlimited)")
@@ -164,6 +181,34 @@ func run() error {
 		token = os.Getenv("SPANTREED_AUTH_TOKEN")
 	}
 
+	switch *mode {
+	case "serve":
+		if *peers != "" {
+			return errors.New("-peers is only meaningful with -mode router")
+		}
+	case "router":
+		outbound := *peerToken
+		if outbound == "" {
+			outbound = os.Getenv("SPANTREED_PEER_AUTH_TOKEN")
+		}
+		if outbound == "" {
+			outbound = token
+		}
+		return runRouter(routerConfig{
+			addr:          *addr,
+			peers:         strings.Split(*peers, ","),
+			replication:   *replication,
+			probeInterval: *probeInterval,
+			authToken:     token,
+			peerToken:     outbound,
+			tlsCert:       *tlsCert,
+			tlsKey:        *tlsKey,
+			drainTimeout:  *drainTimeout,
+		})
+	default:
+		return fmt.Errorf("unknown -mode %q (want serve or router)", *mode)
+	}
+
 	eng, err := spantree.NewEngine(*workers,
 		spantree.WithPhaseCacheMB(*cacheMB),
 		spantree.WithPhaseCacheTotalMB(*cacheTotalMB),
@@ -191,6 +236,19 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Readiness: report loading until every registered graph's prepared
+	// state is resolved (restored from -data-dir or built cold), so a router
+	// probing /readyz never routes onto a still-hydrating replica. /healthz
+	// is live the whole time.
+	srv.setReady(readyLoading)
+	go func() {
+		if err := eng.Warmup(ctx); err != nil {
+			logger.Warn("warmup", "err", err)
+		}
+		srv.setReady(readyWarm)
+		logger.Info("ready", "graphs", len(eng.Keys()))
+	}()
+
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "workers", eng.Workers(), "stream_workers", eng.StreamWorkers(), "pprof", *pprofEnabled, "data_dir", *dataDir, "auth", token != "", "tls", *tlsCert != "")
@@ -210,6 +268,9 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
+	// Flip readiness first: routers stop sending new work while the drain
+	// window lets in-flight requests finish.
+	srv.setReady(readyDraining)
 	logger.Info("shutting down", "drain_timeout", *drainTimeout)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -240,6 +301,7 @@ func run() error {
 // collapse onto their pattern, anything unrecognized onto "other").
 var endpointLabels = []string{
 	"/healthz",
+	"/readyz",
 	"/metrics",
 	"/v1/traces",
 	"/v1/graphs",
@@ -256,7 +318,7 @@ var endpointLabels = []string{
 func endpointLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
-	case "/healthz", "/metrics", "/v1/traces", "/v1/graphs", "/v1/sample", "/v1/audit", "/v1/stats":
+	case "/healthz", "/readyz", "/metrics", "/v1/traces", "/v1/graphs", "/v1/sample", "/v1/audit", "/v1/stats":
 		return p
 	}
 	if rest, ok := strings.CutPrefix(p, "/v1/graphs/"); ok && rest != "" {
@@ -270,6 +332,29 @@ func endpointLabel(r *http.Request) string {
 	return "other"
 }
 
+// readiness is the /readyz state machine: loading (hydrating prepared
+// state) → warm (routable) → draining (shutting down). Liveness (/healthz)
+// stays 200 throughout — the process is alive in every state; only routers
+// and load balancers care about the difference.
+type readiness int32
+
+const (
+	readyLoading readiness = iota
+	readyWarm
+	readyDraining
+)
+
+func (r readiness) String() string {
+	switch r {
+	case readyWarm:
+		return "warm"
+	case readyDraining:
+		return "draining"
+	default:
+		return "loading"
+	}
+}
+
 // server wires the engine to HTTP handlers and tracks request metrics.
 type server struct {
 	eng      *spantree.Engine
@@ -278,6 +363,11 @@ type server struct {
 	started  time.Time
 	requests atomic.Int64
 	errors   atomic.Int64
+	// ready is the /readyz state. newServer starts warm (embedded and test
+	// use); the daemon flips it to loading before listening and back to warm
+	// once Engine.Warmup finishes, so a router never routes to a replica
+	// still hydrating prepared state.
+	ready atomic.Int32
 	// reqTimeout, when positive, is the default per-request deadline applied
 	// to sampling requests that don't carry their own deadline_ms.
 	reqTimeout time.Duration
@@ -338,15 +428,22 @@ func newServer(eng *spantree.Engine) *server {
 		started:     time.Now(),
 		latEndpoint: make(map[string]*obs.Histogram, len(endpointLabels)),
 	}
+	s.ready.Store(int32(readyWarm))
 	for _, ep := range endpointLabels {
 		s.latEndpoint[ep] = obs.NewHistogram()
 	}
 	return s
 }
 
+// setReady moves the /readyz state machine.
+func (s *server) setReady(r readiness) { s.ready.Store(int32(r)) }
+
+func (s *server) readyState() readiness { return readiness(s.ready.Load()) }
+
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -452,6 +549,16 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards http.Flusher so streaming handlers behind the middleware
+// can push each NDJSON line to the client as it completes; without this the
+// embedded-interface wrapper hides the underlying Flusher and lines leave
+// in transport-buffer-sized bursts instead.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (s *server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -546,6 +653,19 @@ func statusFor(err error) int {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady serves readiness, distinct from liveness: 200 only when the
+// replica is warm (prepared state hydrated, not draining), 503 with the
+// state name otherwise. Routers and load balancers key routing on this;
+// /healthz keys restarts.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.readyState()
+	code := http.StatusOK
+	if st != readyWarm {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, r, code, map[string]string{"status": st.String()})
 }
 
 // handleMetrics serves the Prometheus text exposition: server request
@@ -912,6 +1032,7 @@ type streamRequest struct {
 	MaxWorkers    int     `json:"max_workers,omitempty"`
 	DeadlineMS    int     `json:"deadline_ms,omitempty"`
 	SeedBase      uint64  `json:"seed_base"`
+	StartIndex    int     `json:"start_index,omitempty"`
 	Workers       int     `json:"workers,omitempty"` // legacy alias for max_workers
 }
 
@@ -929,8 +1050,9 @@ func (r streamRequest) stream() spantree.StreamRequest {
 			MaxWorkers:    r.MaxWorkers,
 			DeadlineMS:    r.DeadlineMS,
 		},
-		SeedBase: r.SeedBase,
-		Workers:  r.Workers,
+		SeedBase:   r.SeedBase,
+		StartIndex: r.StartIndex,
+		Workers:    r.Workers,
 	}
 }
 

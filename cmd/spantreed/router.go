@@ -1,0 +1,592 @@
+package main
+
+// Router mode: `spantreed -mode router -peers <ep,ep,...>` turns the binary
+// into a stateless cluster coordinator. It serves the same /v1/* surface as
+// a replica but owns no engine — every request is routed onto the replica
+// set that owns its graph key (consistent hashing, shared with the failover
+// client, so both pick identical owners) and failed over to the next replica
+// on connect errors, timeouts, and 5xx. Graph registrations are recorded in
+// an in-memory table and replayed onto replicas as they join or recover, so
+// a replica that was down during POST /v1/graphs catches up the moment its
+// /readyz probe goes green. Streams proxied through the router inherit the
+// failover client's splice: if the serving replica dies mid-stream, the
+// remaining window resumes on the next replica and the router's client sees
+// one uninterrupted, exactly-once NDJSON stream.
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// routerConfig is the -mode router slice of the flag surface.
+type routerConfig struct {
+	addr          string
+	peers         []string
+	replication   int
+	probeInterval time.Duration
+	authToken     string // required from OUR callers
+	peerToken     string // sent to replicas
+	tlsCert       string
+	tlsKey        string
+	drainTimeout  time.Duration
+}
+
+// router is the coordinator: a FailoverClient doing the actual routing,
+// plus the registration replay table and router-level metrics.
+type router struct {
+	fc      *client.FailoverClient
+	log     *slog.Logger
+	started time.Time
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	ready    atomic.Int32 // readiness; warm once at least one peer answers
+	authHash []byte
+
+	// regMu guards the registration replay table: every successful POST
+	// /v1/graphs is recorded so recovered replicas can be caught up.
+	regMu         sync.Mutex
+	registrations map[string]client.RegisterRequest
+	replayed      atomic.Int64
+
+	// routed counts proxied requests per peer-visible endpoint label.
+	latEndpoint map[string]*obs.Histogram
+}
+
+func newRouter(cfg routerConfig, logger *slog.Logger) (*router, error) {
+	eps := make([]string, 0, len(cfg.peers))
+	for _, p := range cfg.peers {
+		if p = strings.TrimSpace(p); p != "" {
+			eps = append(eps, p)
+		}
+	}
+	if len(eps) == 0 {
+		return nil, errors.New("router mode needs -peers")
+	}
+	rt := &router{
+		log:           logger,
+		started:       time.Now(),
+		registrations: map[string]client.RegisterRequest{},
+		latEndpoint:   make(map[string]*obs.Histogram, len(endpointLabels)),
+	}
+	for _, ep := range endpointLabels {
+		rt.latEndpoint[ep] = obs.NewHistogram()
+	}
+	if cfg.authToken != "" {
+		sum := sha256.Sum256([]byte(cfg.authToken))
+		rt.authHash = sum[:]
+	}
+	fc, err := client.NewFailover(eps, client.FailoverOptions{
+		Replication:   cfg.replication,
+		AuthToken:     cfg.peerToken,
+		ProbeInterval: cfg.probeInterval,
+		OnRecover:     rt.replayOnto,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.fc = fc
+	rt.ready.Store(int32(readyWarm))
+	return rt, nil
+}
+
+// replayOnto re-registers every recorded graph on a recovered (or newly
+// healthy) replica that belongs to the graph's replica set. Duplicate
+// registrations are the common case and are dismissed by the replica.
+func (rt *router) replayOnto(ep string) {
+	rt.regMu.Lock()
+	regs := make([]client.RegisterRequest, 0, len(rt.registrations))
+	for _, reg := range rt.registrations {
+		regs = append(regs, reg)
+	}
+	rt.regMu.Unlock()
+	peer := rt.fc.Peer(ep)
+	if peer == nil {
+		return
+	}
+	for _, reg := range regs {
+		owned := false
+		for _, rep := range rt.fc.Replicas(reg.Key) {
+			if rep == ep {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, err := peer.Register(ctx, reg)
+		cancel()
+		var apiErr *client.APIError
+		if err != nil && !(errors.As(err, &apiErr) && strings.Contains(apiErr.Message, "already registered")) {
+			rt.log.Warn("registration replay failed", "peer", ep, "graph", reg.Key, "err", err)
+			continue
+		}
+		rt.replayed.Add(1)
+		rt.log.Info("registration replayed", "peer", ep, "graph", reg.Key)
+	}
+}
+
+// record adds a registration to the replay table.
+func (rt *router) record(reg client.RegisterRequest) {
+	rt.regMu.Lock()
+	rt.registrations[reg.Key] = reg
+	rt.regMu.Unlock()
+}
+
+func (rt *router) forget(key string) {
+	rt.regMu.Lock()
+	delete(rt.registrations, key)
+	rt.regMu.Unlock()
+}
+
+// replayKey replays one key's registration onto its whole replica set — the
+// 404-recovery path: a replica that restarted without durable state answers
+// 404 for a graph the cluster knows; re-registering and retrying heals it
+// without surfacing the blip to the caller.
+func (rt *router) replayKey(ctx context.Context, key string) bool {
+	rt.regMu.Lock()
+	reg, known := rt.registrations[key]
+	rt.regMu.Unlock()
+	if !known {
+		return false
+	}
+	_, err := rt.fc.Register(ctx, reg)
+	return err == nil
+}
+
+func (rt *router) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": "router"})
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReady)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/graphs", rt.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs", rt.handleRegister)
+	mux.HandleFunc("GET /v1/graphs/{key}", rt.handleInfo)
+	mux.HandleFunc("DELETE /v1/graphs/{key}", rt.handleDeregister)
+	mux.HandleFunc("POST /v1/graphs/{key}/stream", rt.handleStream)
+	mux.HandleFunc("POST /v1/sample", rt.handleSample)
+	mux.HandleFunc("POST /v1/audit", rt.handleAudit)
+	mux.HandleFunc("GET /v1/traces", rt.handleTraces)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/ring", rt.handleRing)
+	return rt.instrument(rt.auth(mux))
+}
+
+// instrument mirrors the replica server's middleware in miniature: request
+// and error counters plus the per-endpoint latency histogram.
+func (rt *router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.requests.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		rt.latEndpoint[endpointLabel(r)].Observe(time.Since(start))
+		if rec.status >= 400 {
+			rt.errors.Add(1)
+		}
+		attrs := []any{"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000}
+		if rec.status >= 500 {
+			rt.log.Error("request", attrs...)
+		} else {
+			rt.log.Info("request", attrs...)
+		}
+	})
+}
+
+func (rt *router) auth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rt.authHash != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+			token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			sum := sha256.Sum256([]byte(token))
+			if !ok || subtle.ConstantTimeCompare(sum[:], rt.authHash) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="spantreed"`)
+				writeJSON(w, http.StatusUnauthorized, errorBody{Error: "missing or invalid bearer token"})
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeClientError maps a proxy-leg error onto our response: APIErrors pass
+// the replica's status (and Retry-After) through verbatim; transport
+// failures that survived every replica and retry become 502.
+func (rt *router) writeClientError(w http.ResponseWriter, err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(int(apiErr.RetryAfter/time.Second)))
+		}
+		writeJSON(w, apiErr.Status, errorBody{Error: apiErr.Message})
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+}
+
+func (rt *router) handleReady(w http.ResponseWriter, r *http.Request) {
+	if readiness(rt.ready.Load()) == readyDraining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	// The router is ready when at least one peer is routable; with every
+	// breaker open there is nowhere to send work.
+	for _, ep := range rt.fc.Endpoints() {
+		if rt.fc.Healthy(ep) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "warm"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy peers"})
+}
+
+func (rt *router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req client.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	info, err := rt.fc.Register(r.Context(), req)
+	if err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	rt.record(req)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (rt *router) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	rt.forget(key)
+	if err := rt.fc.Deregister(r.Context(), key); err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": key})
+}
+
+func (rt *router) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	gs, err := rt.fc.Graphs(r.Context())
+	if err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	if gs == nil {
+		gs = []client.GraphInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": gs})
+}
+
+func (rt *router) handleInfo(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	info, err := rt.fc.Info(r.Context(), key)
+	if isUnknownGraph(err) && rt.replayKey(r.Context(), key) {
+		info, err = rt.fc.Info(r.Context(), key)
+	}
+	if err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func isUnknownGraph(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}
+
+func (rt *router) handleSample(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Hook(faultinject.PointRouterProxy); err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	var req client.SampleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	res, err := rt.fc.Sample(r.Context(), req)
+	if isUnknownGraph(err) && rt.replayKey(r.Context(), req.Graph) {
+		res, err = rt.fc.Sample(r.Context(), req)
+	}
+	if err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (rt *router) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Hook(faultinject.PointRouterProxy); err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	var req client.SampleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	raw, err := rt.fc.Audit(r.Context(), req)
+	if isUnknownGraph(err) && rt.replayKey(r.Context(), req.Graph) {
+		raw, err = rt.fc.Audit(r.Context(), req)
+	}
+	if err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+// handleStream proxies a stream through the failover client: the caller
+// sees one NDJSON stream with exactly-once indices even if the serving
+// replica dies mid-flight and the window is resumed elsewhere. The terminal
+// done/error line is synthesized by the router (the replicas' own terminal
+// lines are consumed by the splice).
+func (rt *router) handleStream(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Hook(faultinject.PointRouterProxy); err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	var req client.StreamRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return
+	}
+	key := r.PathValue("key")
+	st, err := rt.fc.Stream(r.Context(), key, req)
+	if err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	delivered := 0
+	headerWritten := false
+	for res := range st.Results() {
+		if !headerWritten {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			headerWritten = true
+		}
+		i := res.Index
+		if err := enc.Encode(streamLine{
+			Index:      &i,
+			Tree:       res.Tree,
+			Rounds:     res.Rounds,
+			Supersteps: res.Supersteps,
+			TotalWords: res.TotalWords,
+			WalkSteps:  res.WalkSteps,
+		}); err != nil {
+			st.Close() // our caller is gone; release the upstream stream
+			return
+		}
+		delivered++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	streamErr := st.Err()
+	if !headerWritten {
+		if streamErr != nil {
+			rt.writeClientError(w, streamErr)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	final := streamLine{Samples: delivered, ElapsedMS: float64(time.Since(start).Microseconds()) / 1000}
+	if streamErr != nil {
+		final.Error = streamErr.Error()
+	} else {
+		final.Done = true
+	}
+	if err := enc.Encode(final); err == nil && flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (rt *router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	path := "/v1/traces"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	raw, err := rt.fc.GetRaw(r.Context(), path)
+	if err != nil {
+		rt.writeClientError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+// handleRing is the placement diagnostic: the cluster membership, and with
+// ?key= the exact replica order that key routes through — what an operator
+// needs to answer "which replica serves this graph".
+func (rt *router) handleRing(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"endpoints": rt.fc.Endpoints()}
+	if key := r.URL.Query().Get("key"); key != "" {
+		out["key"] = key
+		out["replicas"] = rt.fc.Replicas(key)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.regMu.Lock()
+	regs := len(rt.registrations)
+	rt.regMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":           "router",
+		"routing":        rt.fc.Metrics(),
+		"registrations":  regs,
+		"replays":        rt.replayed.Load(),
+		"requests":       rt.requests.Load(),
+		"request_errors": rt.errors.Load(),
+		"uptime_seconds": time.Since(rt.started).Seconds(),
+	})
+}
+
+// handleMetrics is the router's Prometheus surface: request counters and
+// latency like a replica, plus per-peer health and routing counters.
+func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := rt.fc.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+
+	p.Header("spantreed_requests_total", "HTTP requests received.", "counter")
+	p.Value("spantreed_requests_total", float64(rt.requests.Load()))
+	p.Header("spantreed_request_errors_total", "HTTP requests answered with status >= 400.", "counter")
+	p.Value("spantreed_request_errors_total", float64(rt.errors.Load()))
+	p.Header("spantreed_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.Value("spantreed_uptime_seconds", time.Since(rt.started).Seconds())
+	p.Header("spantreed_request_duration_seconds", "Request latency by route pattern.", "histogram")
+	for _, ep := range endpointLabels {
+		p.Hist("spantreed_request_duration_seconds", rt.latEndpoint[ep].Snapshot(), obs.L{K: "endpoint", V: ep})
+	}
+
+	p.Header("spantreed_router_peer_healthy", "Peer breaker state (1 closed, 0 open or half-open).", "gauge")
+	healthByEp := map[string]float64{}
+	for _, ep := range rt.fc.Endpoints() {
+		healthByEp[ep] = 0
+	}
+	for _, h := range m.Endpoints {
+		if h.State == "closed" {
+			healthByEp[h.Endpoint] = 1
+		}
+	}
+	for _, ep := range rt.fc.Endpoints() {
+		p.Value("spantreed_router_peer_healthy", healthByEp[ep], obs.L{K: "peer", V: ep})
+	}
+	p.Header("spantreed_router_peer_successes_total", "Successful exchanges by peer.", "counter")
+	for _, h := range m.Endpoints {
+		p.Value("spantreed_router_peer_successes_total", float64(h.Successes), obs.L{K: "peer", V: h.Endpoint})
+	}
+	p.Header("spantreed_router_peer_failures_total", "Failed exchanges by peer.", "counter")
+	for _, h := range m.Endpoints {
+		p.Value("spantreed_router_peer_failures_total", float64(h.Failures), obs.L{K: "peer", V: h.Endpoint})
+	}
+
+	p.Header("spantreed_router_attempts_total", "Proxy attempts across all peers.", "counter")
+	p.Value("spantreed_router_attempts_total", float64(m.Attempts))
+	p.Header("spantreed_router_failovers_total", "Requests moved to another replica after a failure.", "counter")
+	p.Value("spantreed_router_failovers_total", float64(m.Failovers))
+	p.Header("spantreed_router_retries_total", "Backoff retry rounds.", "counter")
+	p.Value("spantreed_router_retries_total", float64(m.Retries))
+	p.Header("spantreed_router_hedges_total", "Hedged duplicate requests fired.", "counter")
+	p.Value("spantreed_router_hedges_total", float64(m.Hedges))
+	p.Header("spantreed_router_registrations", "Graphs in the replay table.", "gauge")
+	rt.regMu.Lock()
+	regs := len(rt.registrations)
+	rt.regMu.Unlock()
+	p.Value("spantreed_router_registrations", float64(regs))
+	p.Header("spantreed_router_replays_total", "Registrations replayed onto recovered peers.", "counter")
+	p.Value("spantreed_router_replays_total", float64(rt.replayed.Load()))
+
+	if err := p.Err(); err != nil {
+		rt.log.Error("writing metrics", "err", err)
+	}
+}
+
+// runRouter is the -mode router main loop: same listener/shutdown shape as
+// the replica path, no engine.
+func runRouter(cfg routerConfig) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	rt, err := newRouter(cfg, logger)
+	if err != nil {
+		return err
+	}
+	defer rt.fc.Close()
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           rt.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("routing", "addr", cfg.addr, "peers", rt.fc.Endpoints(), "replication", cfg.replication, "probe_interval", cfg.probeInterval, "auth", rt.authHash != nil, "tls", cfg.tlsCert != "")
+		var serveErr error
+		if cfg.tlsCert != "" {
+			serveErr = httpSrv.ListenAndServeTLS(cfg.tlsCert, cfg.tlsKey)
+		} else {
+			serveErr = httpSrv.ListenAndServe()
+		}
+		if !errors.Is(serveErr, http.ErrServerClosed) {
+			errc <- serveErr
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	rt.ready.Store(int32(readyDraining))
+	logger.Info("shutting down", "drain_timeout", cfg.drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Warn("drain timeout, closing", "err", err)
+		_ = httpSrv.Close()
+	}
+	return nil
+}

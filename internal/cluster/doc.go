@@ -1,0 +1,26 @@
+// Package cluster is the membership layer of the replicated serving tier:
+// a consistent-hash ring that maps graph keys to owning replicas, and a
+// per-endpoint health tracker with a circuit breaker.
+//
+// The ring (Ring) hashes each endpoint onto many virtual nodes and routes a
+// key to the first endpoint clockwise from the key's hash. It is built
+// order-independently — the router and every client agree on ownership no
+// matter how their peer lists were spelled — and Replicas walks the ring for
+// the R distinct endpoints that replicate a key, so failover order is also
+// agreed upon globally.
+//
+// The tracker (Tracker) learns endpoint health two ways: passively, from
+// ReportSuccess/ReportFailure marks made by whoever carries live traffic,
+// and optionally actively, from a periodic probe (the router points it at
+// each replica's /readyz). A run of consecutive failures opens a per-endpoint
+// circuit breaker; while open, Allow refuses the endpoint so callers skip it
+// without burning a connect timeout. After a cooldown the breaker admits one
+// half-open trial request — success closes it (firing OnRecover, which the
+// router uses to replay graph registrations onto rejoining replicas), failure
+// re-opens it for another cooldown.
+//
+// Determinism note: the ring only decides WHERE a request lands, never what
+// the reply contains. Replicas are byte-identical by construction (same
+// graph digest, spec, seed base, and index ⇒ same tree), so routing and
+// failover choices are invisible in response bytes.
+package cluster

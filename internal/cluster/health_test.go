@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errDown = errors.New("connection refused")
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	tr := NewTracker([]string{"ep"}, TrackerOptions{FailureThreshold: 3, Cooldown: time.Hour})
+	defer tr.Close()
+	for i := 0; i < 2; i++ {
+		tr.ReportFailure("ep", errDown)
+		if !tr.Allow("ep") || !tr.Healthy("ep") {
+			t.Fatalf("breaker opened after %d failures (threshold 3)", i+1)
+		}
+	}
+	tr.ReportFailure("ep", errDown)
+	if tr.Allow("ep") || tr.Healthy("ep") {
+		t.Fatal("breaker still closed at threshold")
+	}
+}
+
+func TestSuccessResetsConsecutiveCount(t *testing.T) {
+	tr := NewTracker(nil, TrackerOptions{FailureThreshold: 2, Cooldown: time.Hour})
+	defer tr.Close()
+	tr.ReportFailure("ep", errDown)
+	tr.ReportSuccess("ep")
+	tr.ReportFailure("ep", errDown)
+	if !tr.Allow("ep") {
+		t.Fatal("interleaved success should have reset the failure run")
+	}
+}
+
+func TestHalfOpenRecoveryAndOnRecover(t *testing.T) {
+	var mu sync.Mutex
+	var recovered []string
+	tr := NewTracker([]string{"ep"}, TrackerOptions{
+		FailureThreshold: 1,
+		Cooldown:         time.Minute,
+		OnRecover: func(ep string) {
+			mu.Lock()
+			recovered = append(recovered, ep)
+			mu.Unlock()
+		},
+	})
+	defer tr.Close()
+	now := time.Unix(1000, 0)
+	tr.now = func() time.Time { return now }
+
+	tr.ReportFailure("ep", errDown)
+	if tr.Allow("ep") {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+	now = now.Add(time.Minute)
+	if !tr.Allow("ep") {
+		t.Fatal("cooldown elapsed but no half-open trial admitted")
+	}
+	if tr.Allow("ep") {
+		t.Fatal("second caller admitted while the half-open trial is in flight")
+	}
+	// Failed trial: back to open for a full cooldown.
+	tr.ReportFailure("ep", errDown)
+	if tr.Allow("ep") {
+		t.Fatal("failed trial should re-open the breaker")
+	}
+	now = now.Add(time.Minute)
+	if !tr.Allow("ep") {
+		t.Fatal("second trial not admitted")
+	}
+	// Successful trial closes the breaker and fires OnRecover exactly once.
+	tr.ReportSuccess("ep")
+	if !tr.Allow("ep") || !tr.Healthy("ep") {
+		t.Fatal("successful trial should close the breaker")
+	}
+	tr.ReportSuccess("ep") // already closed: no second OnRecover
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recovered) != 1 || recovered[0] != "ep" {
+		t.Fatalf("OnRecover fired %v, want exactly one for ep", recovered)
+	}
+}
+
+func TestSnapshotRows(t *testing.T) {
+	tr := NewTracker([]string{"b", "a"}, TrackerOptions{FailureThreshold: 1, Cooldown: time.Hour})
+	defer tr.Close()
+	tr.ReportSuccess("a")
+	tr.ReportFailure("b", errDown)
+	rows := tr.Snapshot()
+	if len(rows) != 2 || rows[0].Endpoint != "a" || rows[1].Endpoint != "b" {
+		t.Fatalf("snapshot = %+v", rows)
+	}
+	if rows[0].State != "closed" || rows[0].Successes != 1 {
+		t.Errorf("row a = %+v", rows[0])
+	}
+	if rows[1].State != "open" || rows[1].Failures != 1 || rows[1].LastError == "" {
+		t.Errorf("row b = %+v", rows[1])
+	}
+}
+
+func TestActiveProberRecoversEndpoint(t *testing.T) {
+	var mu sync.Mutex
+	healthy := false
+	recovered := make(chan string, 1)
+	tr := NewTracker([]string{"ep"}, TrackerOptions{
+		FailureThreshold: 1,
+		Cooldown:         time.Millisecond,
+		Interval:         2 * time.Millisecond,
+		Probe: func(ctx context.Context, ep string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if !healthy {
+				return errDown
+			}
+			return nil
+		},
+		OnRecover: func(ep string) { recovered <- ep },
+	})
+	tr.Start()
+	defer tr.Close()
+
+	// The prober discovers the endpoint down on its own.
+	deadline := time.After(2 * time.Second)
+	for tr.Healthy("ep") {
+		select {
+		case <-deadline:
+			t.Fatal("prober never marked the endpoint down")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	select {
+	case ep := <-recovered:
+		if ep != "ep" {
+			t.Fatalf("recovered %q", ep)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("prober never recovered the endpoint")
+	}
+}
+
+func TestCloseIdempotentAndWithoutStart(t *testing.T) {
+	tr := NewTracker(nil, TrackerOptions{})
+	tr.Close()
+	tr.Close()
+	tr.Start() // post-Close Start must not spawn anything
+
+	tr2 := NewTracker(nil, TrackerOptions{
+		Probe:    func(context.Context, string) error { return nil },
+		Interval: time.Millisecond,
+	})
+	tr2.Close() // never started: must not hang
+}

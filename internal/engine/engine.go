@@ -515,6 +515,35 @@ func (e *Engine) QueueStats(graph string) QueueStats {
 	return e.sched.queueStats(graph)
 }
 
+// Warmup eagerly resolves the phase-sampler prepared state of every
+// registered graph: restored from the durable store when a valid snapshot
+// exists, cold-built otherwise — exactly what the first phase request of each
+// graph would have done lazily. It is the readiness hook for replicated
+// serving: a restarted replica calls Warmup in the background and keeps
+// /readyz reporting "loading" until it returns, so a router never routes to
+// a replica still hydrating its blobstore. Warmup changes no output bytes
+// (each entry's prepared state resolves under its sync.Once either way); it
+// only moves the cost off the first request. ctx cancels between graphs.
+// Per-graph prepare failures don't stop the sweep — they are joined into the
+// returned error (the same error those graphs' requests will report) while
+// every other graph still warms.
+func (e *Engine) Warmup(ctx context.Context) error {
+	var errs []error
+	for _, key := range e.reg.keys() {
+		if ctx != nil && ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		ent, err := e.reg.get(key)
+		if err != nil {
+			continue // deregistered mid-sweep
+		}
+		if _, err := ent.prepared(e); err != nil {
+			errs = append(errs, fmt.Errorf("warming %q: %w", key, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // Graph returns the registered graph under key.
 func (e *Engine) Graph(key string) (*graph.Graph, error) {
 	ent, err := e.reg.get(key)

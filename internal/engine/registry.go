@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math/big"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -36,6 +38,22 @@ type entry struct {
 	countOnce sync.Once
 	count     atomic.Pointer[big.Int] // published by treeCount for lock-free Info reads
 	countErr  error
+
+	digestOnce sync.Once
+	digestHex  string // hex GraphDigest, computed on first Info read
+}
+
+// digest returns the hex-encoded structural digest of the entry's graph —
+// the identity replicated serving keys on: two replicas serving the same
+// digest under the same spec and seed base MUST return byte-identical trees,
+// and the client-side result cache uses it so a re-registered different
+// graph under a reused key can never serve stale entries.
+func (ent *entry) digest() string {
+	ent.digestOnce.Do(func() {
+		d := blobstore.GraphDigest(ent.g)
+		ent.digestHex = hex.EncodeToString(d[:])
+	})
+	return ent.digestHex
 }
 
 // prepared returns the entry's cached phase-sampler precomputation,
@@ -238,6 +256,11 @@ type GraphInfo struct {
 	Key      string `json:"key"`
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
+	// Digest is the hex SHA-256 structural digest of the graph (vertex count,
+	// edge list, weights) — the cross-replica identity: replicas agreeing on
+	// (Digest, spec, seed base, index) are guaranteed byte-identical results,
+	// and client-side caches key on it.
+	Digest string `json:"digest,omitempty"`
 	// TreeCount is the exact spanning tree count as a decimal string, when
 	// it has already been computed by an audit; empty otherwise (counting is
 	// lazy — it is O(n^3) work the sampling path never needs).
@@ -250,7 +273,7 @@ func (e *Engine) Info(key string) (GraphInfo, error) {
 	if err != nil {
 		return GraphInfo{}, err
 	}
-	info := GraphInfo{Key: ent.key, Vertices: ent.g.N(), Edges: ent.g.M()}
+	info := GraphInfo{Key: ent.key, Vertices: ent.g.N(), Edges: ent.g.M(), Digest: ent.digest()}
 	if c := ent.count.Load(); c != nil {
 		info.TreeCount = c.String()
 	}

@@ -62,7 +62,7 @@ func (s *Session) Graph() *graph.Graph { return s.ent.g }
 
 // Info describes the session's graph.
 func (s *Session) Info() GraphInfo {
-	info := GraphInfo{Key: s.ent.key, Vertices: s.ent.g.N(), Edges: s.ent.g.M()}
+	info := GraphInfo{Key: s.ent.key, Vertices: s.ent.g.N(), Edges: s.ent.g.M(), Digest: s.ent.digest()}
 	if c := s.ent.count.Load(); c != nil {
 		info.TreeCount = c.String()
 	}
@@ -123,8 +123,10 @@ func (s *Session) Collect(ctx context.Context, req StreamRequest) (*BatchResult,
 	trees := make([]*spanning.Tree, req.K)
 	stats := make([]core.Stats, req.K)
 	for r := range st.Results() {
-		trees[r.Index] = r.Tree
-		stats[r.Index] = r.Stats
+		// Results carry absolute indices; slot them relative to the window so
+		// a resumed (StartIndex > 0) collect stays densely packed.
+		trees[r.Index-req.StartIndex] = r.Tree
+		stats[r.Index-req.StartIndex] = r.Stats
 	}
 	if err := st.Err(); err != nil {
 		return nil, err

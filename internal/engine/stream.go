@@ -31,6 +31,15 @@ type StreamRequest struct {
 	// function of (graph, Spec, SeedBase) — worker count, scheduling, and
 	// consumption order never show through.
 	SeedBase uint64
+	// StartIndex shifts the stream's index window: the job draws the K
+	// samples at absolute indices StartIndex..StartIndex+K-1, each seeded by
+	// its absolute index exactly as a StartIndex-0 stream covering the same
+	// range would. This is the resume primitive for replicated serving: a
+	// client (or router) whose stream died after delivering indices < j can
+	// re-issue the request with StartIndex j on another replica and splice
+	// the byte-identical remainder — zero duplicate or missing indices.
+	// 0 (the default) starts at the beginning.
+	StartIndex int
 	// Workers is the pre-scheduler name for Spec.MaxWorkers, kept for
 	// compatibility: it caps this stream's concurrent slot leases
 	// (0: no cap beyond the pool width). Spec.MaxWorkers wins when both are
@@ -99,6 +108,12 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 	}
 	if req.K > maxBatchSize {
 		return nil, fmt.Errorf("engine: batch size %d exceeds cap %d; split the batch", req.K, maxBatchSize)
+	}
+	if req.StartIndex < 0 {
+		return nil, fmt.Errorf("engine: start index must be >= 0, got %d", req.StartIndex)
+	}
+	if req.StartIndex > maxBatchSize-req.K {
+		return nil, fmt.Errorf("engine: index window [%d,%d) exceeds cap %d; split the batch", req.StartIndex, req.StartIndex+req.K, maxBatchSize)
 	}
 	spec, err := req.Spec.normalizedFor(s.ent.g.N())
 	if err != nil {
@@ -189,7 +204,7 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 
 	go func() {
 	feed:
-		for i := 0; i < req.K; i++ {
+		for i := req.StartIndex; i < req.StartIndex+req.K; i++ {
 			select {
 			case inflight <- struct{}{}:
 			case <-ctx.Done():
@@ -225,9 +240,10 @@ func (s *Session) Stream(ctx context.Context, req StreamRequest) (*Stream, error
 				defer wg.Done()
 				defer func() { <-inflight }()
 				// The per-sample stream depends only on (SeedBase, i); Split
-				// re-derives it independently of scheduling history.
+				// re-derives it independently of scheduling history — i is the
+				// ABSOLUTE index, so a resumed window reproduces the same bytes.
 				str := tr
-				if ownTrace && i != 0 {
+				if ownTrace && i != req.StartIndex {
 					str = nil
 				}
 				tree, cs, err := e.sampleOne(s.ent, spec, base.Split(uint64(i)), str, i)

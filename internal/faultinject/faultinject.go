@@ -45,6 +45,16 @@ const (
 	// here exercises the per-sample panic isolation, Err a sampler runtime
 	// failure, Delay a slow sampler.
 	PointSample Point = "engine/sample"
+	// PointClientDo fires before every outbound request the client package
+	// issues: an Err models a connect failure (the failover client must move
+	// to the next replica), ErrTimeout a dial/response timeout, a Delay a slow
+	// replica (which should trip the hedging path).
+	PointClientDo Point = "client/do"
+	// PointRouterProxy fires before the router forwards a request to the
+	// owning replica: an Err models the proxy leg failing so the router's own
+	// failover (next replica in the set) is exercised without killing a
+	// process.
+	PointRouterProxy Point = "router/proxy"
 )
 
 // points lists every valid injection site for Set/Configure validation.
@@ -56,6 +66,8 @@ var points = map[Point]struct{}{
 	PointPhaseImport:   {},
 	PointSchedAcquire:  {},
 	PointSample:        {},
+	PointClientDo:      {},
+	PointRouterProxy:   {},
 }
 
 // Fault describes what happens when an armed injection site fires. Exactly
@@ -221,12 +233,25 @@ func MutateBytes(p Point, b []byte) []byte {
 // layers under test report it like any other I/O failure.
 var ErrInjected = errors.New("faultinject: injected fault")
 
+// ErrTimeout is the error the "timeout" action injects. It satisfies the
+// net.Error interface (Timeout() reports true), so transport code under test
+// classifies it exactly like a real dial or response-header deadline expiry
+// — the retryable-timeout path, not the generic-failure path.
+var ErrTimeout error = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "faultinject: injected timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
 // Configure arms faults from a compact spec string — the SPANTREED_FAULT
 // surface for daemon-level chaos smoke tests:
 //
 //	point=action[:arg][;point=action...]
 //
-// Actions: "error" (return ErrInjected), "delay:<duration>", "panic[:msg]",
+// Actions: "error" (return ErrInjected), "timeout" (return ErrTimeout, a
+// net.Error with Timeout() true), "delay:<duration>", "panic[:msg]",
 // "shortread:<n>" (truncate the payload to n bytes), "flipbit:<offset>"
 // (XOR bit 0 of byte offset, modulo length). An action may be prefixed
 // "after<N>-" to skip the first N firings, e.g. "after2-error".
@@ -257,6 +282,8 @@ func Configure(spec string) error {
 		switch verb {
 		case "error":
 			f.Err = ErrInjected
+		case "timeout":
+			f.Err = ErrTimeout
 		case "delay":
 			d, err := time.ParseDuration(arg)
 			if err != nil {

@@ -281,3 +281,30 @@ func TestConfigureRejectsBadSpecs(t *testing.T) {
 		t.Errorf("spec with empty segments rejected: %v", err)
 	}
 }
+
+func TestTimeoutActionLooksLikeNetError(t *testing.T) {
+	defer Reset()
+	if err := Configure("client/do=timeout"); err != nil {
+		t.Fatal(err)
+	}
+	err := Hook(PointClientDo)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("configured timeout fault = %v", err)
+	}
+	var ne interface{ Timeout() bool }
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("injected timeout does not satisfy net.Error Timeout(): %v", err)
+	}
+	if Hits(PointClientDo) != 1 {
+		t.Fatalf("hits = %d, want 1", Hits(PointClientDo))
+	}
+}
+
+func TestTransportPointsRegistered(t *testing.T) {
+	defer Reset()
+	for _, p := range []Point{PointClientDo, PointRouterProxy} {
+		if err := Set(p, Fault{Err: ErrInjected}); err != nil {
+			t.Errorf("Set(%q) = %v", p, err)
+		}
+	}
+}

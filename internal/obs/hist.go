@@ -65,6 +65,20 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNS.Add(ns)
 }
 
+// Quantile estimates the q-quantile of the recorded distribution in seconds
+// (0 while empty) — the live read the failover client derives its hedging
+// delay from, without allocating a full snapshot per decision.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	return s.quantile(q)
+}
+
 // HistSnapshot is a point-in-time copy of a histogram, JSON-ready and
 // mergeable. Buckets holds per-bucket (non-cumulative) counts aligned with
 // BucketBounds plus a final +Inf bucket; the quantile fields are estimated

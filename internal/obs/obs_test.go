@@ -256,3 +256,23 @@ func TestValidateExpositionRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if q := nilH.Quantile(0.99); q != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", q)
+	}
+	h := NewHistogram()
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	if q := h.Quantile(0.99); q < 2.5e-3 || q > 5e-3 {
+		t.Errorf("quantile %g outside the landing bucket (2.5ms, 5ms]", q)
+	}
+	if got, want := h.Quantile(0.99), h.Snapshot().P99; got != want {
+		t.Errorf("Quantile(0.99) = %g, Snapshot().P99 = %g", got, want)
+	}
+}
