@@ -20,6 +20,16 @@
 // inboxes), "charged" runs the machines' logic locally with rounds charged
 // analytically from the communication pattern.
 //
+// -mode kernels (BENCH_kernels.json is the committed snapshot) measures what
+// the blocked register-tiled dense kernels buy over the scalar audit kernel.
+// Each arm runs the phase-sampler batch cold (later-phase cache bypassed —
+// every sample rebuilds its dense state through the kernels) and warm
+// (later-phase cache populated), with the kernel variant switched process-
+// wide between arms; -kernel-workers additionally bounds within-sample
+// parallelism on the blocked arm. All four cells must draw byte-identical
+// trees with identical per-sample Stats — the bit-exactness contract the
+// kernel variants advertise, asserted on every run.
+//
 // -mode trace (BENCH_trace.json is the committed snapshot) measures what
 // observability costs on the warm path: both arms run the fully warm charged
 // batch, one on an engine with tracing disabled, the other at the default
@@ -57,6 +67,7 @@ import (
 	"time"
 
 	spantree "repro"
+	"repro/internal/matrix"
 )
 
 func main() {
@@ -102,6 +113,24 @@ type protoSizeResult struct {
 	IdenticalOutputs bool      `json:"identical_outputs"`
 }
 
+// kernelSizeResult is one instance size of the -mode kernels sweep: the
+// scalar audit kernel vs the blocked register-tiled kernel, each measured
+// cold (later-phase cache bypassed) and warm (cache populated).
+type kernelSizeResult struct {
+	N             int       `json:"n"`
+	K             int       `json:"k"`
+	CacheMB       int       `json:"cache_mb"`
+	KernelWorkers int       `json:"kernel_workers"`
+	ScalarCold    armResult `json:"scalar_cold"`
+	ScalarWarm    armResult `json:"scalar_warm"`
+	BlockedCold   armResult `json:"blocked_cold"`
+	BlockedWarm   armResult `json:"blocked_warm"`
+	// ColdSpeedup and WarmSpeedup are blocked-over-scalar throughput ratios.
+	ColdSpeedup      float64 `json:"cold_speedup"`
+	WarmSpeedup      float64 `json:"warm_speedup"`
+	IdenticalOutputs bool    `json:"identical_outputs"`
+}
+
 // traceSizeResult is one instance size of the -mode trace sweep: warm
 // charged batches with tracing disabled vs default trace sampling.
 type traceSizeResult struct {
@@ -122,24 +151,26 @@ type traceSizeResult struct {
 }
 
 type report struct {
-	GoVersion  string            `json:"go_version"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Sampler    string            `json:"sampler"`
-	Note       string            `json:"note"`
-	Results    []sizeResult      `json:"results,omitempty"`
-	Protocol   []protoSizeResult `json:"protocol_results,omitempty"`
-	Trace      []traceSizeResult `json:"trace_results,omitempty"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Sampler    string             `json:"sampler"`
+	Note       string             `json:"note"`
+	Results    []sizeResult       `json:"results,omitempty"`
+	Protocol   []protoSizeResult  `json:"protocol_results,omitempty"`
+	Kernels    []kernelSizeResult `json:"kernel_results,omitempty"`
+	Trace      []traceSizeResult  `json:"trace_results,omitempty"`
 }
 
 func run() error {
 	var (
 		sizes       = flag.String("n", "32,96,192", "comma-separated instance sizes")
 		k           = flag.Int("k", 0, "batch size (0: 64 up to n=96, 16 above)")
-		mode        = flag.String("mode", "cache", "what to measure: cache (warm vs cold later-phase cache), protocol (charged vs full sim fidelity, both warm), or trace (default trace sampling vs tracing disabled, both warm)")
+		mode        = flag.String("mode", "cache", "what to measure: cache (warm vs cold later-phase cache), protocol (charged vs full sim fidelity, both warm), kernels (blocked vs scalar dense kernels, cold and warm), or trace (default trace sampling vs tracing disabled, both warm)")
 		out         = flag.String("out", "", "output JSON path (default: BENCH_phasecache.json, BENCH_protocol.json, or BENCH_trace.json per mode)")
 		quick       = flag.Bool("quick", false, "tiny smoke sweep for CI (n=16,24, k=8)")
 		cacheMB     = flag.Int("cache-mb", 0, "warm-arm cache budget (0: sized to the batch working set)")
 		maxOverhead = flag.Float64("max-overhead", 0.02, "trace mode: fail if the traced arm is more than this fraction slower (0: report only)")
+		kernelWork  = flag.Int("kernel-workers", 0, "kernels mode: goroutines inside each dense kernel call on the blocked arm (0 or 1: sequential)")
 	)
 	flag.Parse()
 	if *quick {
@@ -152,6 +183,8 @@ func run() error {
 		switch *mode {
 		case "protocol":
 			*out = "BENCH_protocol.json"
+		case "kernels":
+			*out = "BENCH_kernels.json"
 		case "trace":
 			*out = "BENCH_trace.json"
 		default:
@@ -172,6 +205,10 @@ func run() error {
 		rep.Note = "both arms fully warm (phase-0 + later-phase cache populated); full = every protocol message " +
 			"materialized through the simulator, charged = supersteps run locally with analytically charged " +
 			"rounds; arms draw byte-identical trees with identical per-sample Stats"
+	case "kernels":
+		rep.Note = "scalar = the straightforward-loop audit kernel, blocked = the register-tiled default; each " +
+			"measured cold (later-phase cache bypassed) and warm (cache populated); all four cells draw " +
+			"byte-identical trees with identical per-sample Stats"
 	case "trace":
 		rep.Note = "both arms fully warm charged batches; untraced = tracing disabled, traced = default 1-in-64 " +
 			"trace sampling (latency histograms on in both); best-of-3 timing; the harness fails when overhead " +
@@ -200,6 +237,17 @@ func run() error {
 			fmt.Printf("n=%-4d k=%-3d untraced %8.1f ms/tree  traced %8.1f ms/tree  overhead %+.2f%% (budget %.1f%%)  traces %d\n",
 				n, batch, res.Untraced.NsPerTree/1e6, res.Traced.NsPerTree/1e6, res.Overhead*100,
 				res.MaxOverhead*100, res.TracesRecorded)
+			continue
+		}
+		if *mode == "kernels" {
+			res, err := measureKernels(n, batch, *cacheMB, *kernelWork)
+			if err != nil {
+				return fmt.Errorf("n=%d: %w", n, err)
+			}
+			rep.Kernels = append(rep.Kernels, res)
+			fmt.Printf("n=%-4d k=%-3d cold %6.1f -> %6.1f trees/s (%.2fx)  warm %6.1f -> %6.1f trees/s (%.2fx)\n",
+				n, batch, res.ScalarCold.TreesPerSec, res.BlockedCold.TreesPerSec, res.ColdSpeedup,
+				res.ScalarWarm.TreesPerSec, res.BlockedWarm.TreesPerSec, res.WarmSpeedup)
 			continue
 		}
 		if *mode == "protocol" {
@@ -366,6 +414,77 @@ func measureProtocol(n, k, cacheMB int) (protoSizeResult, error) {
 		res.AllocReduction = 1 - charged.AllocsPerTree/full.AllocsPerTree
 	}
 	return res, nil
+}
+
+// measureKernels runs the scalar-vs-blocked kernel arms at one instance
+// size, each cold (later-phase cache bypassed) and warm, switching the
+// process-wide kernel between arms. The byte-identical contract covers all
+// four cells: trees AND per-sample Stats. The scalar baseline always runs
+// sequentially; kernelWorkers applies to the blocked arm only, so the
+// reported speedup is "what the overhaul delivers at this worker setting
+// over the original loops".
+func measureKernels(n, k, cacheMB, kernelWorkers int) (kernelSizeResult, error) {
+	if cacheMB <= 0 {
+		cacheMB = workingSetMB(n, k)
+	}
+	g, err := spantree.Expander(n, 3)
+	if err != nil {
+		return kernelSizeResult{}, err
+	}
+	defer matrix.SetKernel(matrix.KernelBlocked)
+
+	type arm struct {
+		kernel  matrix.Kernel
+		workers int
+		cold    armResult
+		warm    armResult
+		coldRes *spantree.BatchResult
+		warmRes *spantree.BatchResult
+	}
+	arms := []*arm{
+		{kernel: matrix.KernelScalar, workers: 1},
+		{kernel: matrix.KernelBlocked, workers: kernelWorkers},
+	}
+	for _, a := range arms {
+		matrix.SetKernel(a.kernel)
+		coldSess, err := newSession(g, spantree.WithPhaseCacheMB(-1), spantree.WithKernelWorkers(a.workers))
+		if err != nil {
+			return kernelSizeResult{}, err
+		}
+		warmSess, err := newSession(g, spantree.WithPhaseCacheMB(cacheMB), spantree.WithKernelWorkers(a.workers))
+		if err != nil {
+			return kernelSizeResult{}, err
+		}
+		coldSpec := spantree.PhaseSpec()
+		coldSpec.NoPhaseCache = true
+		coldReq := spantree.StreamRequest{K: k, Spec: coldSpec, SeedBase: 1}
+		warmReq := spantree.StreamRequest{K: k, Spec: spantree.PhaseSpec(), SeedBase: 1}
+		if a.coldRes, err = coldSess.Collect(context.Background(), coldReq); err != nil {
+			return kernelSizeResult{}, err
+		}
+		if a.warmRes, err = warmSess.Collect(context.Background(), warmReq); err != nil {
+			return kernelSizeResult{}, err
+		}
+		a.cold = timeArm(coldSess, coldReq)
+		a.warm = timeArm(warmSess, warmReq)
+	}
+	scalar, blocked := arms[0], arms[1]
+	identical := treesIdentical(scalar.coldRes, blocked.coldRes) &&
+		treesIdentical(scalar.warmRes, blocked.warmRes) &&
+		treesIdentical(scalar.coldRes, scalar.warmRes) &&
+		reflect.DeepEqual(scalar.coldRes.Stats, blocked.coldRes.Stats) &&
+		reflect.DeepEqual(scalar.warmRes.Stats, blocked.warmRes.Stats)
+	if !identical {
+		return kernelSizeResult{}, fmt.Errorf("kernel variants are not byte-identical")
+	}
+	return kernelSizeResult{
+		N: n, K: k, CacheMB: cacheMB, KernelWorkers: kernelWorkers,
+		ScalarCold: scalar.cold, ScalarWarm: scalar.warm,
+		BlockedCold: blocked.cold, BlockedWarm: blocked.warm,
+		ColdSpeedup:      scalar.cold.NsPerTree / blocked.cold.NsPerTree,
+		WarmSpeedup:      scalar.warm.NsPerTree / blocked.warm.NsPerTree,
+		IdenticalOutputs: identical,
+	}, nil
 }
 
 // measureTrace runs the tracing-on-vs-off arms at one instance size, both

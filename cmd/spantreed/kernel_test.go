@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	spantree "repro"
+)
+
+// newKernelTestServer builds a server whose engine runs the given number of
+// kernel workers inside each dense kernel call.
+func newKernelTestServer(t *testing.T, kernelWorkers int) *httptest.Server {
+	t.Helper()
+	eng, err := spantree.NewEngine(2,
+		spantree.WithWalkLength(256),
+		spantree.WithKernelWorkers(kernelWorkers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestSampleDeterministicAcrossKernelWorkers is the HTTP-layer determinism
+// golden for the kernel overhaul: servers running different kernel-worker
+// counts, serving charged and full fidelity requests, return identical trees
+// and identical stat summaries for the same (graph, sampler, seed base).
+func TestSampleDeterministicAcrossKernelWorkers(t *testing.T) {
+	type result struct {
+		Trees   []string
+		Summary spantree.BatchSummary
+	}
+	fetch := func(ts *httptest.Server, fidelity string) result {
+		t.Helper()
+		registerFamily(t, ts, "g", "expander", 16)
+		body := map[string]any{
+			"graph": "g", "k": 5, "sampler": "phase", "seed_base": 9,
+			"include_trees": true,
+		}
+		if fidelity != "" {
+			body["sim_fidelity"] = fidelity
+		}
+		resp := postJSON(t, ts.URL+"/v1/sample", body)
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("sample: status %d", resp.StatusCode)
+		}
+		var out struct {
+			Trees   []string              `json:"trees"`
+			Summary spantree.BatchSummary `json:"summary"`
+		}
+		decodeBody(t, resp, &out)
+		return result{out.Trees, out.Summary}
+	}
+	want := fetch(newKernelTestServer(t, 1), "")
+	if len(want.Trees) != 5 {
+		t.Fatalf("reference returned %d trees", len(want.Trees))
+	}
+	for _, kw := range []int{2, 8} {
+		for _, fid := range []string{"", "charged", "full"} {
+			got := fetch(newKernelTestServer(t, kw), fid)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("kernel workers %d, fidelity %q: response differs from sequential reference", kw, fid)
+			}
+		}
+	}
+}

@@ -148,6 +148,7 @@ func run() error {
 		peerToken     = flag.String("peer-auth-token", "", "router mode: bearer token sent to replicas (empty: $SPANTREED_PEER_AUTH_TOKEN, else the incoming -auth-token)")
 		workers       = flag.Int("workers", 0, "batch worker pool width (0: GOMAXPROCS)")
 		streamWorkers = flag.Int("stream-workers", 0, "engine-wide stream worker pool width shared by all concurrent streams (0: same as -workers)")
+		kernelWorkers = flag.Int("kernel-workers", 0, "goroutines inside each dense kernel call (matrix squarings, Schur solves); outputs are byte-identical for every value (0 or 1: sequential)")
 		maxStreams    = flag.Int("max-streams-per-graph", 0, "max concurrent sampling jobs per graph (streams AND /v1/sample | /v1/audit batches); excess requests get 429 (0: unlimited)")
 		cacheMB       = flag.Int("phase-cache-mb", 0, "per-graph later-phase state cache budget in MB (0: default, negative: disabled)")
 		cacheTotalMB  = flag.Int("phase-cache-total-mb", 0, "global later-phase cache budget in MB shared across all graphs (0: per-graph budgets)")
@@ -213,6 +214,7 @@ func run() error {
 		spantree.WithPhaseCacheMB(*cacheMB),
 		spantree.WithPhaseCacheTotalMB(*cacheTotalMB),
 		spantree.WithStreamWorkers(*streamWorkers),
+		spantree.WithKernelWorkers(*kernelWorkers),
 		spantree.WithMaxStreamsPerGraph(*maxStreams),
 		spantree.WithAdmissionQueue(*admitQueue),
 		spantree.WithTraceSampling(*traceEvery),

@@ -52,6 +52,13 @@ type CostPlan struct {
 	recvMsgs []int
 	total    int64
 	err      error
+	// Running maxima over send/recv/recvMsgs, maintained incrementally so
+	// ChargedSuperstep reads the per-machine load extremes in O(1) instead of
+	// rescanning three n-length arrays per superstep. Sums are order-free, so
+	// the incremental maxima equal what a final scan would compute.
+	maxSend    int
+	maxRecv    int
+	maxRecvMsg int
 }
 
 // NewCostPlan returns an empty plan for an n-machine clique.
@@ -66,13 +73,12 @@ func NewCostPlan(n int) *CostPlan {
 
 // Reset clears the plan for reuse in a subsequent superstep.
 func (p *CostPlan) Reset() {
-	for i := range p.send {
-		p.send[i] = 0
-		p.recv[i] = 0
-		p.recvMsgs[i] = 0
-	}
+	clear(p.send)
+	clear(p.recv)
+	clear(p.recvMsgs)
 	p.total = 0
 	p.err = nil
+	p.maxSend, p.maxRecv, p.maxRecvMsg = 0, 0, 0
 }
 
 // Add records one message of `words` words from machine `from` to machine
@@ -105,6 +111,59 @@ func (p *CostPlan) AddN(from, to, wordsPer, msgs int) {
 	p.recv[to] += w
 	p.recvMsgs[to] += msgs
 	p.total += int64(w)
+	if p.send[from] > p.maxSend {
+		p.maxSend = p.send[from]
+	}
+	if p.recv[to] > p.maxRecv {
+		p.maxRecv = p.recv[to]
+	}
+	if p.recvMsgs[to] > p.maxRecvMsg {
+		p.maxRecvMsg = p.recvMsgs[to]
+	}
+}
+
+// Exchange records the dense bipartite pattern where every machine in froms
+// sends one wordsPer-word message to every machine in tos, in O(|froms| +
+// |tos|) bookkeeping for the |froms|·|tos| messages. Either list may contain
+// repeats (a machine owning several pair states sends once per state); each
+// occurrence contributes its own messages, exactly as the equivalent nested
+// Add loop would record them.
+func (p *CostPlan) Exchange(froms, tos []int, wordsPer int) {
+	if p.err != nil {
+		return
+	}
+	if wordsPer < 0 {
+		p.err = fmt.Errorf("clique: negative plan charge (%d words)", wordsPer)
+		return
+	}
+	if len(froms) == 0 || len(tos) == 0 {
+		return
+	}
+	for _, from := range froms {
+		if from < 0 || from >= p.n {
+			p.err = fmt.Errorf("clique: plan message from invalid machine %d", from)
+			return
+		}
+		p.send[from] += wordsPer * len(tos)
+		if p.send[from] > p.maxSend {
+			p.maxSend = p.send[from]
+		}
+	}
+	for _, to := range tos {
+		if to < 0 || to >= p.n {
+			p.err = fmt.Errorf("clique: plan message to invalid machine %d", to)
+			return
+		}
+		p.recv[to] += wordsPer * len(froms)
+		p.recvMsgs[to] += len(froms)
+		if p.recv[to] > p.maxRecv {
+			p.maxRecv = p.recv[to]
+		}
+		if p.recvMsgs[to] > p.maxRecvMsg {
+			p.maxRecvMsg = p.recvMsgs[to]
+		}
+	}
+	p.total += int64(wordsPer) * int64(len(froms)) * int64(len(tos))
 }
 
 // Scatter records the leader-scatters pattern: one wordsPer-word message
@@ -143,6 +202,15 @@ func (p *CostPlan) AllToAll(d, wordsPer int) {
 		p.send[id] += wordsPer * d
 		p.recv[id] += wordsPer * d
 		p.recvMsgs[id] += d
+		if p.send[id] > p.maxSend {
+			p.maxSend = p.send[id]
+		}
+		if p.recv[id] > p.maxRecv {
+			p.maxRecv = p.recv[id]
+		}
+		if p.recvMsgs[id] > p.maxRecvMsg {
+			p.maxRecvMsg = p.recvMsgs[id]
+		}
 	}
 	p.total += int64(wordsPer) * int64(d) * int64(d)
 }
@@ -184,17 +252,7 @@ func (s *Sim) ChargedSuperstep(name string, plan *CostPlan, local func() error) 
 	maxSend, maxRecv, maxRecvMsg := 0, 0, 0
 	var total int64
 	if plan != nil {
-		for id := 0; id < s.n; id++ {
-			if plan.send[id] > maxSend {
-				maxSend = plan.send[id]
-			}
-			if plan.recv[id] > maxRecv {
-				maxRecv = plan.recv[id]
-			}
-			if plan.recvMsgs[id] > maxRecvMsg {
-				maxRecvMsg = plan.recvMsgs[id]
-			}
-		}
+		maxSend, maxRecv, maxRecvMsg = plan.maxSend, plan.maxRecv, plan.maxRecvMsg
 		total = plan.total
 	}
 	maxLoad := maxSend

@@ -92,6 +92,10 @@ type Sim struct {
 	supersteps int
 	totalWords int64
 	inboxes    [][]Message
+	// inboxDirty tracks whether any inbox may hold messages; charged-mode
+	// supersteps never deliver any, so clearInboxes becomes a no-op between
+	// them instead of an O(n) sweep a few thousand times per sample.
+	inboxDirty bool
 	stats      []StepStat
 	traceStats bool
 
@@ -325,6 +329,9 @@ func (s *Sim) Superstep(name string, fn StepFunc) error {
 			return msgs[i].Tag < msgs[j].Tag
 		})
 		s.inboxes[id] = msgs
+		if len(msgs) > 0 {
+			s.inboxDirty = true
+		}
 	}
 
 	s.rounds += rounds
@@ -345,9 +352,13 @@ func (s *Sim) Superstep(name string, fn StepFunc) error {
 }
 
 func (s *Sim) clearInboxes() {
+	if !s.inboxDirty {
+		return
+	}
 	for i := range s.inboxes {
 		s.inboxes[i] = nil
 	}
+	s.inboxDirty = false
 }
 
 // ErrStopped is returned by RunUntil's body to terminate iteration without
@@ -392,6 +403,7 @@ func (s *Sim) Broadcast(from, tag int, words []Word) error {
 		// Words are shared read-only; receivers must not mutate them.
 		s.inboxes[id] = append(s.inboxes[id], m)
 	}
+	s.inboxDirty = true
 	s.rounds += rounds
 	s.supersteps++
 	s.totalWords += int64(w * s.n)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/clique"
 	"repro/internal/graph"
@@ -56,6 +55,9 @@ func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, ca
 	stats := &Stats{}
 
 	visited := make([]bool, n)
+	// One scratch arena serves every phase runner (and Las Vegas segment) of
+	// this sample; see phaseScratch.
+	sc := newPhaseScratch(n)
 	// Machine 1 (index 0) hosts the start vertex (Algorithm 1 step 1).
 	start := 0
 	visited[start] = true
@@ -93,7 +95,7 @@ func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, ca
 		var runner *phaseRunner
 		segStart := start
 		for segment := 0; ; segment++ {
-			r, err := newPhaseRunner(sim, g, cfg, sub, segStart, phase, preSeen, phaseSrc.Split(uint64(segment)), stats, warm, cache)
+			r, err := newPhaseRunner(sim, g, cfg, sub, segStart, phase, preSeen, phaseSrc.Split(uint64(segment)), stats, warm, cache, sc)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: phase %d: %w", phase, err)
 			}
@@ -176,16 +178,18 @@ func sampleLoop(g *graph.Graph, cfg Config, src *prng.Source, warm *Prepared, ca
 // entered v. It returns the sampled edges and the newly visited global
 // vertices in first-visit order.
 func (r *phaseRunner) firstVisitEdges(walkLocal []int) ([]graph.Edge, []int, error) {
-	var visits []fvVisit
-	seen := map[int]struct{}{walkLocal[0]: {}}
+	seen := &r.sc.seen
+	seen.reset()
+	seen.mark(walkLocal[0])
+	visits := r.sc.visits[:0]
 	for i := 1; i < len(walkLocal); i++ {
 		lv := walkLocal[i]
-		if _, ok := seen[lv]; ok {
+		if !seen.mark(lv) {
 			continue
 		}
-		seen[lv] = struct{}{}
 		visits = append(visits, fvVisit{prev: r.hostOf(walkLocal[i-1]), v: r.hostOf(lv)})
 	}
+	r.sc.visits = visits
 	if len(visits) == 0 {
 		return nil, nil, nil
 	}
@@ -311,7 +315,7 @@ func (r *phaseRunner) firstVisitEdgesFull(visits []fvVisit) (map[int]int, error)
 		if len(nbrs) == 0 {
 			return nil, nil
 		}
-		choice, err := r.rngs[id].WeightedIndex(weights)
+		choice, err := r.rng(id).WeightedIndex(weights)
 		if err != nil {
 			return nil, fmt.Errorf("vertex %d has no mass on any entry edge: %w", id, err)
 		}
@@ -353,7 +357,8 @@ func (r *phaseRunner) firstVisitEdgesFull(visits []fvVisit) (map[int]int, error)
 // per-machine rng stream, so the sampled edges are byte-identical.
 func (r *phaseRunner) firstVisitEdgesCharged(visits []fvVisit) (map[int]int, error) {
 	leader := r.leader
-	plan := clique.NewCostPlan(r.sim.N())
+	plan := r.sc.plan
+	plan.Reset()
 
 	// Superstep 1 (core/fve/notify): leader tells each newly visited vertex
 	// its predecessor.
@@ -417,7 +422,14 @@ func (r *phaseRunner) firstVisitEdgesCharged(visits []fvVisit) (map[int]int, err
 			if stepErr != nil {
 				return stepErr
 			}
-			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].u < nbrs[j].u })
+			// Neighbor ids are distinct, so this insertion sort produces
+			// exactly sort.Slice's ascending order without its closure and
+			// swapper allocations.
+			for i := 1; i < len(nbrs); i++ {
+				for j := i; j > 0 && nbrs[j].u < nbrs[j-1].u; j-- {
+					nbrs[j], nbrs[j-1] = nbrs[j-1], nbrs[j]
+				}
+			}
 			entries[vi] = nbrs
 		}
 		return nil
@@ -438,11 +450,12 @@ func (r *phaseRunner) firstVisitEdgesCharged(visits []fvVisit) (map[int]int, err
 	err = r.sim.ChargedSuperstep("core/fve/sample", plan, func() error {
 		for vi, vis := range visits {
 			es := entries[vi]
-			weights := make([]float64, len(es))
+			weights := growFloats(r.sc.weights, len(es))
+			r.sc.weights = weights
 			for i, e := range es {
 				weights[i] = e.w
 			}
-			choice, err := r.rngs[vis.v].WeightedIndex(weights)
+			choice, err := r.rng(vis.v).WeightedIndex(weights)
 			if err != nil {
 				return fmt.Errorf("vertex %d has no mass on any entry edge: %w", vis.v, err)
 			}

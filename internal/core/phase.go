@@ -62,7 +62,21 @@ type phaseRunner struct {
 	// reappearance is never a "first occurrence" (appendix §5.1).
 	preSeen map[int]struct{}
 
-	rngs []*prng.Source // per-machine randomness
+	// hosts maps a local subset index to the global machine hosting it
+	// (sub.Vertices(), fetched once — the protocol loops consult it per
+	// message charge).
+	hosts []int
+
+	// src seeds the per-machine randomness; rngs materializes machine
+	// streams lazily on first use. Stream derivation depends only on
+	// (src seed, machine id), so laziness is draw-for-draw identical to
+	// splitting every machine up front.
+	src  *prng.Source
+	rngs []*prng.Source
+
+	// sc is the per-sample scratch arena shared by all runners of one
+	// sampleLoop call (including Las Vegas segments).
+	sc *phaseScratch
 
 	// Leader-local walk state: dense dyadic grid in local indices.
 	walk    []int
@@ -75,20 +89,19 @@ type phaseRunner struct {
 	// charges the extra per-machine bandwidth automatically).
 	pairs [][]*pairState
 	// Leader-local slot bookkeeping for the current level: slot j (1-based)
-	// sits between walk[j-1] and walk[j].
+	// sits between walk[j-1] and walk[j]. The slices are views into the
+	// scratch arena; pairRank is kept as a map for the full-fidelity
+	// protocol and white-box tests, while the charged path indexes the
+	// arena's order tables directly.
 	slotPair []pairKey
 	slotOcc  []int // occurrence index (1-based) of the slot within its pair
+	slotIdx  []int // pair order index of the slot's pair
 	pairRank map[pairKey]int
-	// Leader-local assignment bookkeeping for the current level, in the
-	// first-appearance order the leader designates pair machines: the
-	// charged path replays the assignment from it instead of routing the
-	// tagAssign messages.
-	pairOrder  []pairKey
-	pairCounts map[pairKey]int
 
-	// Leader-local result of the most recent count collection.
-	bsCounts map[int]int // local midpoint vertex -> count in prefix
-	bsMf     int         // midpoint value at the queried slot, -1 if none
+	// Leader-local result of the most recent count collection: the midpoint
+	// multiset lives in sc.counts; bsMf is the midpoint value at the queried
+	// slot, -1 if none.
+	bsMf int
 
 	stats *Stats
 }
@@ -103,7 +116,7 @@ type phaseRunner struct {
 // hits reuse the triple a previous cold build produced (bit-identical by
 // construction) and replay its round charges; misses build cold and
 // populate the cache.
-func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, startGlobal int, phaseIdx int, preSeen map[int]struct{}, src *prng.Source, stats *Stats, warm *Prepared, cache *phasecache.Cache) (*phaseRunner, error) {
+func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, startGlobal int, phaseIdx int, preSeen map[int]struct{}, src *prng.Source, stats *Stats, warm *Prepared, cache *phasecache.Cache, sc *phaseScratch) (*phaseRunner, error) {
 	startLocal, err := sub.LocalIndex(startGlobal)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase start vertex: %w", err)
@@ -166,6 +179,10 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 	if preSeen == nil {
 		preSeen = map[int]struct{}{}
 	}
+	if sc == nil {
+		sc = newPhaseScratch(g.N())
+	}
+	clear(sc.rngs)
 	r := &phaseRunner{
 		sim:     sim,
 		g:       g,
@@ -178,12 +195,12 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 		rho:     rho,
 		charged: cfg.SimFidelity.Charged(),
 		preSeen: preSeen,
-		rngs:    make([]*prng.Source, g.N()),
-		stats:   stats,
+		hosts:   sub.Vertices(),
+		src:     src,
+		rngs:    sc.rngs,
+		sc:      sc,
 	}
-	for id := range r.rngs {
-		r.rngs[id] = src.Split(uint64(id))
-	}
+	r.stats = stats
 
 	// Outline 3 steps 3-4: sample the endpoint from S^l[start, *]. The
 	// leader holds its own row of every power, so this is a local draw.
@@ -191,7 +208,7 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 	if err != nil {
 		return nil, err
 	}
-	end, err := r.rngs[r.leader].WeightedIndex(endPow.Row(startLocal))
+	end, err := r.rng(r.leader).WeightedIndex(endPow.Row(startLocal))
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling phase endpoint: %w", err)
 	}
@@ -201,6 +218,18 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 	return r, nil
 }
 
+// rng returns machine id's random stream, splitting it from the segment
+// source on first use. Splitting is a pure function of (source seed, id), so
+// lazy creation yields the exact stream an eager split would.
+func (r *phaseRunner) rng(id int) *prng.Source {
+	s := r.rngs[id]
+	if s == nil {
+		s = r.src.Split(uint64(id))
+		r.rngs[id] = s
+	}
+	return s
+}
+
 // buildPhaseState is the cold path of a phase's algebraic setup: the
 // shortcut matrix and the dyadic power table of the Schur transition matrix
 // (which survives as the table's first power), with the round charges the
@@ -208,11 +237,11 @@ func newPhaseRunner(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subs
 // phase-cache entries, which is what makes cached and cold sampling
 // bit-identical.
 func buildPhaseState(sim *clique.Sim, g *graph.Graph, cfg Config, sub *schur.Subset, phaseIdx, maxExp int) (q *matrix.Matrix, pd *matrix.PowerDyadic, err error) {
-	smat, err := schur.Transition(g, sub)
+	smat, err := schur.TransitionWorkers(g, sub, cfg.KernelWorkers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: schur transition: %w", err)
 	}
-	q, err = schur.ShortcutTransition(g, sub)
+	q, err = schur.ShortcutTransitionWorkers(g, sub, cfg.KernelWorkers)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: shortcut transition: %w", err)
 	}
@@ -248,29 +277,29 @@ func replayPhaseCharges(sim *clique.Sim, cfg Config, n, maxExp, phaseIdx int, pd
 	return nil
 }
 
-// hostOf maps a local subset index to the global machine hosting it.
+// hostOf maps a local subset index to the global machine hosting it. Local
+// indices flowing through the protocol are always valid; an out-of-range
+// index panics, which is a protocol bug, not an input error.
 func (r *phaseRunner) hostOf(localIdx int) int {
-	v, err := r.sub.VertexAt(localIdx)
-	if err != nil {
-		// Local indices flowing through the protocol are always valid; a
-		// failure here is a protocol bug, not an input error.
-		panic(fmt.Sprintf("core: invalid local index %d: %v", localIdx, err))
-	}
-	return v
+	return r.hosts[localIdx]
 }
 
 // truncateWalkLocal cuts the leader's walk at the first grid index whose
 // prefix (together with vertices pre-seen by earlier segments) contains rho
 // distinct vertices.
 func (r *phaseRunner) truncateWalkLocal() {
-	seen := make(map[int]struct{}, r.rho+1)
+	seen := &r.sc.seen
+	seen.reset()
+	distinct := 0
 	for v := range r.preSeen {
-		seen[v] = struct{}{}
+		if seen.mark(v) {
+			distinct++
+		}
 	}
 	for i, v := range r.walk {
-		if _, ok := seen[v]; !ok {
-			seen[v] = struct{}{}
-			if len(seen) == r.rho {
+		if seen.mark(v) {
+			distinct++
+			if distinct == r.rho {
 				r.walk = r.walk[:i+1]
 				return
 			}
@@ -324,32 +353,47 @@ func (r *phaseRunner) runLevel() error {
 // machine k for the k-th distinct pair, and sends each its count.
 func (r *phaseRunner) assignPairs() error {
 	// Leader-local bookkeeping (the leader holds W_i).
+	sc := r.sc
+	n := r.sim.N()
 	k := len(r.walk) - 1
-	r.slotPair = make([]pairKey, k+1) // slots 1..k
-	r.slotOcc = make([]int, k+1)
-	r.pairRank = make(map[pairKey]int)
-	counts := make(map[pairKey]int)
-	order := make([]pairKey, 0, k)
+	sc.resetLevel()
+	sc.slotPair = growPairKeys(sc.slotPair, k+1) // slots 1..k
+	sc.slotOcc = growInts(sc.slotOcc, k+1)
+	sc.slotIdx = growInts(sc.slotIdx, k+1)
+	r.slotPair, r.slotOcc, r.slotIdx = sc.slotPair, sc.slotOcc, sc.slotIdx
+	r.pairRank = make(map[pairKey]int, k)
 	for j := 1; j <= k; j++ {
-		key := pairKey{p: r.walk[j-1], q: r.walk[j]}
-		if _, ok := counts[key]; !ok {
-			order = append(order, key)
+		p, q := r.walk[j-1], r.walk[j]
+		oi := sc.pairLookup(p, q)
+		if oi < 0 {
+			oi = sc.pairInsert(p, q)
 		}
-		counts[key]++
-		r.slotPair[j] = key
-		r.slotOcc[j] = counts[key]
+		sc.pairCounts[oi]++
+		r.slotPair[j] = pairKey{p: p, q: q}
+		r.slotOcc[j] = sc.pairCounts[oi]
+		r.slotIdx[j] = oi
 	}
+	order := sc.pairOrder
+	sc.pairMachine = growInts(sc.pairMachine, len(order))
 	for rank, key := range order {
-		r.pairRank[key] = rank % r.sim.N()
+		sc.pairMachine[rank] = rank % n
+		r.pairRank[key] = rank % n
 	}
-	r.pairOrder, r.pairCounts = order, counts
 
-	r.pairs = make([][]*pairState, r.sim.N())
+	if cap(sc.pairs) < n {
+		sc.pairs = make([][]*pairState, n)
+	}
+	sc.pairs = sc.pairs[:n]
+	for i := range sc.pairs {
+		sc.pairs[i] = sc.pairs[i][:0]
+	}
+	r.pairs = sc.pairs
 	leader := r.leader
 	if r.charged {
-		plan := clique.NewCostPlan(r.sim.N())
+		plan := sc.plan
+		plan.Reset()
 		for rank := range order {
-			plan.Add(leader, rank%r.sim.N(), 3)
+			plan.Add(leader, rank%n, 3)
 		}
 		return r.sim.ChargedSuperstep("core/assign", plan, nil)
 	}
@@ -360,12 +404,12 @@ func (r *phaseRunner) assignPairs() error {
 		msgs := make([]clique.Message, 0, len(order))
 		for rank, key := range order {
 			msgs = append(msgs, clique.Message{
-				To:  rank % r.sim.N(),
+				To:  rank % n,
 				Tag: tagAssign,
 				Words: []clique.Word{
 					clique.IntWord(key.p),
 					clique.IntWord(key.q),
-					clique.IntWord(counts[key]),
+					clique.IntWord(sc.pairCounts[rank]),
 				},
 			})
 		}
@@ -473,8 +517,9 @@ func (r *phaseRunner) generateMidpoints() error {
 				return nil, fmt.Errorf("pair (%d,%d) at gap %d has empty midpoint distribution: %w", ps.key.p, ps.key.q, r.spacing, err)
 			}
 			ps.seq = make([]int, ps.count)
+			src := r.rng(id)
 			for i := range ps.seq {
-				ps.seq[i] = alias.Sample(r.rngs[id])
+				ps.seq[i] = alias.Sample(src)
 			}
 		}
 		return nil, nil
@@ -490,25 +535,21 @@ func (r *phaseRunner) generateMidpoints() error {
 // emission order — and each machine's sampling consumes its rng stream in
 // the same per-machine order as the full path, so trees are byte-identical.
 func (r *phaseRunner) generateMidpointsCharged() error {
+	sc := r.sc
 	size := r.sub.Size()
-	n := r.sim.N()
-	plan := clique.NewCostPlan(n)
+	hosts := r.hosts[:size]
+	machines := sc.pairMachine[:len(sc.pairOrder)]
+	plan := sc.plan
 	// Superstep 1 (core/distreq): pair machines store their assignments and
 	// broadcast distribution requests (3 words) to every subset vertex
-	// machine.
-	for _, key := range r.pairOrder {
-		from := r.pairRank[key]
-		for j := 0; j < size; j++ {
-			plan.Add(from, r.hostOf(j), 3)
-		}
-	}
+	// machine — the dense pairs x hosts pattern, charged in bulk.
+	plan.Reset()
+	plan.Exchange(machines, hosts, 3)
 	err := r.sim.ChargedSuperstep("core/distreq", plan, func() error {
-		for _, key := range r.pairOrder {
-			r.pairs[r.pairRank[key]] = append(r.pairs[r.pairRank[key]], &pairState{
-				key:     key,
-				count:   r.pairCounts[key],
-				weights: make([]float64, size),
-			})
+		for oi, key := range sc.pairOrder {
+			ps := sc.getPS(key, sc.pairCounts[oi], size)
+			r.pairs[machines[oi]] = append(r.pairs[machines[oi]], ps)
+			sc.orderedPS = append(sc.orderedPS, ps)
 		}
 		return nil
 	})
@@ -522,18 +563,13 @@ func (r *phaseRunner) generateMidpointsCharged() error {
 		return err
 	}
 	plan.Reset()
-	for _, key := range r.pairOrder {
-		to := r.pairRank[key]
-		for j := 0; j < size; j++ {
-			plan.Add(r.hostOf(j), to, 4)
-		}
-	}
+	plan.Exchange(hosts, machines, 4)
 	err = r.sim.ChargedSuperstep("core/distreply", plan, func() error {
-		for id := 0; id < n; id++ {
-			for _, ps := range r.pairs[id] {
-				for j := 0; j < size; j++ {
-					ps.weights[j] = half.At(ps.key.p, j) * half.At(j, ps.key.q)
-				}
+		for _, ps := range sc.orderedPS {
+			rowP := half.Row(ps.key.p)
+			q := ps.key.q
+			for j := range ps.weights {
+				ps.weights[j] = rowP[j] * half.At(j, q)
 			}
 		}
 		return nil
@@ -542,18 +578,19 @@ func (r *phaseRunner) generateMidpointsCharged() error {
 		return err
 	}
 	// Superstep 3 (core/generate): pair machines sample their sequences
-	// locally — no traffic in either mode.
+	// locally — no traffic in either mode. Iterating pairs in assignment
+	// order consumes each machine's stream in the same per-machine order as
+	// the full path's per-machine loops (streams are independent across
+	// machines, so interleaving between machines is immaterial).
 	return r.sim.ChargedSuperstep("core/generate", nil, func() error {
-		for id := 0; id < n; id++ {
-			for _, ps := range r.pairs[id] {
-				alias, err := prng.NewAlias(ps.weights)
-				if err != nil {
-					return fmt.Errorf("pair (%d,%d) at gap %d has empty midpoint distribution: %w", ps.key.p, ps.key.q, r.spacing, err)
-				}
-				ps.seq = make([]int, ps.count)
-				for i := range ps.seq {
-					ps.seq[i] = alias.Sample(r.rngs[id])
-				}
+		for oi, ps := range sc.orderedPS {
+			alias, err := sc.aliasB.Build(ps.weights)
+			if err != nil {
+				return fmt.Errorf("pair (%d,%d) at gap %d has empty midpoint distribution: %w", ps.key.p, ps.key.q, r.spacing, err)
+			}
+			src := r.rng(machines[oi])
+			for i := range ps.seq {
+				ps.seq[i] = alias.Sample(src)
 			}
 		}
 		return nil
@@ -565,7 +602,7 @@ func (r *phaseRunner) generateMidpointsCharged() error {
 func slotsInPrefix(ellPrime int64) int { return int((ellPrime + 1) / 2) }
 
 // collectCounts runs the count/tally/report protocol of Algorithm 3 for the
-// truncation candidate ellPrime, filling r.bsCounts (midpoint multiset of
+// truncation candidate ellPrime, filling the leader's count multiset (midpoint multiset of
 // the prefix, by vertex) and r.bsMf (the midpoint value at the last slot of
 // the prefix, or -1 when the prefix has no midpoint slots).
 func (r *phaseRunner) collectCounts(ellPrime int64) error {
@@ -592,7 +629,7 @@ func (r *phaseRunner) collectCounts(ellPrime int64) error {
 		if id != leader {
 			return nil, nil
 		}
-		r.bsCounts = make(map[int]int)
+		r.sc.counts.reset()
 		r.bsMf = -1
 		msgs := make([]clique.Message, 0, len(r.pairRank))
 		for key, machine := range r.pairRank {
@@ -699,7 +736,7 @@ func (r *phaseRunner) collectCounts(ellPrime int64) error {
 		}
 		for _, m := range in {
 			if m.Tag == tagBSReport {
-				r.bsCounts[m.Words[0].Int()] = m.Words[1].Int()
+				r.sc.counts.add(m.Words[0].Int(), m.Words[1].Int())
 			}
 		}
 		return nil, nil
@@ -713,28 +750,32 @@ func (r *phaseRunner) collectCounts(ellPrime int64) error {
 // its pattern while computing — one 2-word message per (pair, distinct
 // prefix vertex), exactly the compressed multiset the full path ships.
 func (r *phaseRunner) collectCountsCharged(ellPrime int64) error {
+	sc := r.sc
 	sPrefix := slotsInPrefix(ellPrime)
-	prefixCount := make(map[pairKey]int, len(r.pairRank))
+	pairs := len(sc.pairOrder)
+	prefixCount := growInts(sc.prefixCount, pairs)
+	sc.prefixCount = prefixCount
+	clear(prefixCount)
 	for j := 1; j <= sPrefix; j++ {
-		prefixCount[r.slotPair[j]]++
+		prefixCount[r.slotIdx[j]]++
 	}
-	mfPair := pairKey{-1, -1}
+	mfIdx := -1
 	mfOcc := -1
 	if sPrefix >= 1 {
-		mfPair = r.slotPair[sPrefix]
+		mfIdx = r.slotIdx[sPrefix]
 		mfOcc = r.slotOcc[sPrefix]
 	}
 	leader := r.leader
-	n := r.sim.N()
 
 	// Superstep A (core/bs/count): leader sends each pair machine its
 	// prefix count plus the mf occurrence query (4 words per pair).
-	plan := clique.NewCostPlan(n)
-	for _, machine := range r.pairRank {
+	plan := sc.plan
+	plan.Reset()
+	for _, machine := range sc.pairMachine[:pairs] {
 		plan.Add(leader, machine, 4)
 	}
 	err := r.sim.ChargedSuperstep("core/bs/count", plan, func() error {
-		r.bsCounts = make(map[int]int)
+		sc.counts.reset()
 		r.bsMf = -1
 		return nil
 	})
@@ -745,28 +786,27 @@ func (r *phaseRunner) collectCountsCharged(ellPrime int64) error {
 	// Superstep B (core/bs/tally): pair machines tally their sequence
 	// prefixes toward the vertex machines; the mf owner answers the leader.
 	plan.Reset()
-	totals := make(map[int]int)
+	totals := &sc.totals
+	totals.reset()
 	mfVal := -1
 	err = r.sim.ChargedSuperstep("core/bs/tally", plan, func() error {
-		for _, key := range r.pairOrder {
-			machine := r.pairRank[key]
-			ps := r.findPair(machine, key.p, key.q)
-			if ps == nil {
-				return fmt.Errorf("machine %d asked about unassigned pair (%d,%d)", machine, key.p, key.q)
-			}
-			c := prefixCount[key]
+		for oi := 0; oi < pairs; oi++ {
+			machine := sc.pairMachine[oi]
+			ps := sc.orderedPS[oi]
+			c := prefixCount[oi]
 			if c > len(ps.seq) {
 				return fmt.Errorf("pair machine %d asked for prefix %d of %d midpoints", machine, c, len(ps.seq))
 			}
-			local := make(map[int]int)
+			local := &sc.local
+			local.reset()
 			for _, v := range ps.seq[:c] {
-				local[v]++
+				local.add(v, 1)
 			}
-			for v, cnt := range local {
-				plan.Add(machine, r.hostOf(v), 2)
-				totals[v] += cnt
+			for _, v := range local.touched {
+				plan.Add(machine, r.hosts[v], 2)
+				totals.add(v, local.val[v])
 			}
-			if key == mfPair && mfOcc >= 1 {
+			if oi == mfIdx && mfOcc >= 1 {
 				if mfOcc > len(ps.seq) {
 					return fmt.Errorf("pair machine %d mf query %d beyond %d midpoints", machine, mfOcc, len(ps.seq))
 				}
@@ -785,8 +825,8 @@ func (r *phaseRunner) collectCountsCharged(ellPrime int64) error {
 	// answer now, exactly when the full path's leader reads it.
 	plan.Reset()
 	err = r.sim.ChargedSuperstep("core/bs/report", plan, func() error {
-		for v := range totals {
-			plan.Add(r.hostOf(v), leader, 2)
+		for _, v := range totals.touched {
+			plan.Add(r.hosts[v], leader, 2)
 		}
 		r.bsMf = mfVal
 		return nil
@@ -797,8 +837,8 @@ func (r *phaseRunner) collectCountsCharged(ellPrime int64) error {
 
 	// Superstep D (core/bs/absorb): leader absorbs — computation only.
 	return r.sim.ChargedSuperstep("core/bs/absorb", nil, func() error {
-		for v, cnt := range totals {
-			r.bsCounts[v] = cnt
+		for _, v := range totals.touched {
+			sc.counts.add(v, totals.val[v])
 		}
 		return nil
 	})
@@ -809,19 +849,25 @@ func (r *phaseRunner) collectCountsCharged(ellPrime int64) error {
 // collectCounts(ellPrime).
 func (r *phaseRunner) checkTruncation(ellPrime int64) (bool, error) {
 	evenPrefix := int(ellPrime / 2) // walk indices 0..evenPrefix are in the prefix
-	distinct := make(map[int]struct{})
+	counts := &r.sc.counts
+	seen := &r.sc.seen
+	seen.reset()
+	dist := 0
 	for v := range r.preSeen {
-		distinct[v] = struct{}{}
-	}
-	for _, v := range r.walk[:evenPrefix+1] {
-		distinct[v] = struct{}{}
-	}
-	for v, c := range r.bsCounts {
-		if c > 0 {
-			distinct[v] = struct{}{}
+		if seen.mark(v) {
+			dist++
 		}
 	}
-	dist := len(distinct)
+	for _, v := range r.walk[:evenPrefix+1] {
+		if seen.mark(v) {
+			dist++
+		}
+	}
+	for _, v := range counts.touched {
+		if counts.val[v] > 0 && seen.mark(v) {
+			dist++
+		}
+	}
 	if dist > r.rho {
 		return false, nil
 	}
@@ -838,7 +884,7 @@ func (r *phaseRunner) checkTruncation(ellPrime int64) (bool, error) {
 		}
 		last = r.bsMf
 	}
-	countLast := r.bsCounts[last]
+	countLast := r.sc.counts.get(last)
 	if _, pre := r.preSeen[last]; pre {
 		countLast++ // seen in an earlier segment: not a first occurrence
 	}
@@ -912,20 +958,23 @@ func (r *phaseRunner) placeMidpoints(ellStar int64) error {
 
 	// Expand the multiset minus one copy of mf into a deterministic row
 	// list.
+	sc := r.sc
+	counts := &sc.counts
 	total := 0
-	vertices := make([]int, 0, len(r.bsCounts))
-	for v, c := range r.bsCounts {
-		total += c
+	vertices := sc.vertices[:0]
+	for _, v := range counts.touched {
+		total += counts.val[v]
 		vertices = append(vertices, v)
 	}
+	sc.vertices = vertices
 	if total != lastSlot {
 		return fmt.Errorf("core: multiset holds %d midpoints, prefix has %d slots", total, lastSlot)
 	}
 	sort.Ints(vertices)
-	rows := make([]int, 0, lastSlot-1)
+	rows := sc.rowsBuf[:0]
 	mfTaken := false
 	for _, v := range vertices {
-		c := r.bsCounts[v]
+		c := counts.get(v)
 		if v == r.bsMf && !mfTaken {
 			c--
 			mfTaken = true
@@ -934,6 +983,7 @@ func (r *phaseRunner) placeMidpoints(ellStar int64) error {
 			rows = append(rows, v)
 		}
 	}
+	sc.rowsBuf = rows
 	if !mfTaken {
 		return fmt.Errorf("core: final midpoint %d not present in collected multiset", r.bsMf)
 	}
@@ -941,17 +991,20 @@ func (r *phaseRunner) placeMidpoints(ellStar int64) error {
 	// The leader fetches the O(√n) x O(√n) submatrix of P^(δ/2) restricted
 	// to the vertices it needs: walk prefix vertices and midpoints
 	// (§2.1.3: broadcast S, receive the submatrix in O(1) rounds).
-	needSet := make(map[int]struct{})
+	seen := &sc.seen
+	seen.reset()
+	need := sc.needList[:0]
 	for _, v := range r.walk[:evenPrefix+1] {
-		needSet[v] = struct{}{}
+		if seen.mark(v) {
+			need = append(need, v)
+		}
 	}
 	for _, v := range vertices {
-		needSet[v] = struct{}{}
+		if seen.mark(v) {
+			need = append(need, v)
+		}
 	}
-	need := make([]int, 0, len(needSet))
-	for v := range needSet {
-		need = append(need, v)
-	}
+	sc.needList = need
 	sort.Ints(need)
 	sub, err := r.fetchSubmatrix(need)
 	if err != nil {
@@ -968,20 +1021,22 @@ func (r *phaseRunner) placeMidpoints(ellStar int64) error {
 	// place directly from the Π sequences beyond it — the degenerate
 	// periodic-walk case where the instance grows toward Θ(l).
 	k := lastSlot - 1
-	placed := make([]int, lastSlot+1) // slot -> midpoint vertex (1-based)
+	sc.placedBuf = growInts(sc.placedBuf, lastSlot+1)
+	placed := sc.placedBuf // slot -> midpoint vertex (1-based); every read slot is written below
 	placed[lastSlot] = r.bsMf
 	switch {
 	case k == 0:
 		// Only the final midpoint exists.
 	case k <= r.cfg.MatchingLimit && !r.cfg.DirectPlacement:
-		w := matrix.MustNew(k, k)
+		w := matrix.Scratch(k, k)
 		for ri, x := range rows {
 			for j := 1; j <= k; j++ {
 				key := r.slotPair[j]
 				w.Set(ri, j-1, sub.at(key.p, x)*sub.at(x, key.q))
 			}
 		}
-		perm, err := r.cfg.Matching.Sample(w, r.rngs[r.leader])
+		perm, err := r.cfg.Matching.Sample(w, r.rng(r.leader))
+		w.Release()
 		if err != nil {
 			return fmt.Errorf("core: matching placement at level spacing %d: %w", r.spacing, err)
 		}
@@ -994,8 +1049,13 @@ func (r *phaseRunner) placeMidpoints(ellStar int64) error {
 	default:
 		// Direct Π-order placement (§5.3 equivalence).
 		for j := 1; j <= k; j++ {
-			key := r.slotPair[j]
-			ps := r.findPair(r.pairRank[key], key.p, key.q)
+			var ps *pairState
+			if r.charged {
+				ps = sc.orderedPS[r.slotIdx[j]]
+			} else {
+				key := r.slotPair[j]
+				ps = r.findPair(r.pairRank[key], key.p, key.q)
+			}
 			if ps == nil {
 				return fmt.Errorf("core: missing pair machine state for slot %d", j)
 			}
@@ -1008,8 +1068,13 @@ func (r *phaseRunner) placeMidpoints(ellStar int64) error {
 	}
 
 	// Assemble W_{i+1}: alternate walk vertices and placed midpoints up to
-	// grid index ellStar, at half the spacing.
-	next := make([]int, 0, int(ellStar)+1)
+	// grid index ellStar, at half the spacing. The next walk is built in the
+	// spare buffer and the outgoing walk becomes the new spare — only the
+	// phase's final walk escapes the runner (to sampleLoop), and that one is
+	// never recycled because the next runner starts from a fresh two-vertex
+	// slice.
+	sub.data.Release()
+	next := growInts(sc.walkBuf, int(ellStar)+1)[:0]
 	for g := int64(0); g <= ellStar; g++ {
 		if g%2 == 0 {
 			next = append(next, r.walk[g/2])
@@ -1017,27 +1082,38 @@ func (r *phaseRunner) placeMidpoints(ellStar int64) error {
 			next = append(next, placed[(g+1)/2])
 		}
 	}
+	sc.walkBuf = r.walk[:0]
 	r.walk = next
 	r.spacing /= 2
 	return nil
 }
 
-// submat is the leader's fetched submatrix view keyed by local indices.
+// submat is the leader's fetched submatrix view keyed by local indices. The
+// full-fidelity path keys it by map; the charged path reuses the scratch
+// arena's seen stamp (still marking exactly the needed set from the caller's
+// need-list construction) with the dense subIdx table.
 type submat struct {
 	idx  map[int]int
+	sc   *phaseScratch
 	data *matrix.Matrix
 }
 
 func (s *submat) at(a, b int) float64 {
-	ia, ok := s.idx[a]
-	if !ok {
+	if s.idx != nil {
+		ia, ok := s.idx[a]
+		if !ok {
+			return 0
+		}
+		ib, ok := s.idx[b]
+		if !ok {
+			return 0
+		}
+		return s.data.At(ia, ib)
+	}
+	if !s.sc.seen.has(a) || !s.sc.seen.has(b) {
 		return 0
 	}
-	ib, ok := s.idx[b]
-	if !ok {
-		return 0
-	}
-	return s.data.At(ia, ib)
+	return s.data.At(s.sc.subIdx[a], s.sc.subIdx[b])
 }
 
 // fetchSubmatrix broadcasts the needed vertex set and collects the
@@ -1132,12 +1208,15 @@ func (r *phaseRunner) fetchSubmatrixCharged(need []int) (*submat, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := make(map[int]int, len(need))
+	// The caller built need under the current seen epoch (every member is
+	// marked, nothing else is), so the stamp doubles as the membership test
+	// for subIdx.
 	for i, v := range need {
-		idx[v] = i
+		r.sc.subIdx[v] = i
 	}
-	data := matrix.MustNew(len(need), len(need))
-	plan := clique.NewCostPlan(r.sim.N())
+	data := matrix.Scratch(len(need), len(need))
+	plan := r.sc.plan
+	plan.Reset()
 	err = r.sim.ChargedSuperstep("core/submatrix", plan, func() error {
 		for ai, a := range need {
 			plan.AddN(r.hostOf(a), r.leader, 3, len(need))
@@ -1153,5 +1232,5 @@ func (r *phaseRunner) fetchSubmatrixCharged(need []int) (*submat, error) {
 	if err := r.sim.ChargedSuperstep("core/submatrix-absorb", nil, nil); err != nil {
 		return nil, err
 	}
-	return &submat{idx: idx, data: data}, nil
+	return &submat{sc: r.sc, data: data}, nil
 }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"repro/internal/clique"
+	"repro/internal/prng"
+)
+
+// phaseScratch is the per-sample scratch arena of the phase runner. One
+// instance is created per sampleLoop call and threaded through every phase
+// runner (and Las Vegas segment) of that sample, so the per-level protocol
+// steps — pair assignment, midpoint generation, the O(log l) count
+// collections of the truncation search, and midpoint placement — reuse flat
+// buffers instead of allocating maps and slices a few thousand times per
+// tree. Everything here is bookkeeping whose values are recomputed each use;
+// nothing observable (trees, Stats, traces) depends on the reuse.
+//
+// The arena is single-goroutine state, like the runner itself: full-fidelity
+// supersteps may run machine closures concurrently, but every buffer here is
+// only touched by one machine's closure (the leader's) or outside supersteps.
+type phaseScratch struct {
+	n    int // machine count; local indices and pair codes are < n and n²
+	plan *clique.CostPlan
+
+	// Pair bookkeeping for the current level. pairIdx maps the dense pair
+	// code p*n+q to the pair's first-appearance index, epoch-stamped so a new
+	// level invalidates it in O(1).
+	pairIdx      []int32
+	pairIdxepoch []uint32
+	pairEpoch    uint32
+	slotPair     []pairKey
+	slotOcc      []int
+	slotIdx      []int // slot -> pair order index
+	pairOrder    []pairKey
+	pairCounts   []int // by order index
+	pairMachine  []int // by order index
+	orderedPS    []*pairState
+	pairs        [][]*pairState
+	psPool       []*pairState
+	psUsed       int
+
+	prefixCount []int // by order index, one truncation candidate at a time
+
+	counts dense // the leader's collected midpoint multiset (bsCounts)
+	totals dense // per-collection tally aggregate
+	local  dense // per-pair prefix tally
+	seen   stamp // distinct-vertex marking (truncation check, need sets)
+
+	vertices  []int
+	rowsBuf   []int
+	needList  []int
+	subIdx    []int // needed vertex -> submatrix index, valid under seen's epoch
+	placedBuf []int // slot -> placed midpoint, one placement at a time
+	walkBuf   []int // spare walk buffer; swaps with the live walk each level
+
+	rngs   []*prng.Source
+	aliasB prng.AliasBuilder
+
+	visits  []fvVisit
+	weights []float64
+}
+
+func newPhaseScratch(n int) *phaseScratch {
+	return &phaseScratch{
+		n:            n,
+		plan:         clique.NewCostPlan(n),
+		pairIdx:      make([]int32, n*n),
+		pairIdxepoch: make([]uint32, n*n),
+		counts:       newDense(n),
+		totals:       newDense(n),
+		local:        newDense(n),
+		seen:         newStamp(n),
+		subIdx:       make([]int, n),
+		rngs:         make([]*prng.Source, n),
+	}
+}
+
+// resetLevel prepares the pair tables for a new level's assignment.
+func (sc *phaseScratch) resetLevel() {
+	sc.pairEpoch++
+	if sc.pairEpoch == 0 {
+		clear(sc.pairIdxepoch)
+		sc.pairEpoch = 1
+	}
+	sc.pairOrder = sc.pairOrder[:0]
+	sc.pairCounts = sc.pairCounts[:0]
+	sc.pairMachine = sc.pairMachine[:0]
+	sc.orderedPS = sc.orderedPS[:0]
+	sc.psUsed = 0
+}
+
+// pairLookup returns the order index of (p, q) this level, or -1.
+func (sc *phaseScratch) pairLookup(p, q int) int {
+	code := p*sc.n + q
+	if sc.pairIdxepoch[code] != sc.pairEpoch {
+		return -1
+	}
+	return int(sc.pairIdx[code])
+}
+
+// pairInsert records (p, q) under the next order index and returns it.
+func (sc *phaseScratch) pairInsert(p, q int) int {
+	code := p*sc.n + q
+	oi := len(sc.pairOrder)
+	sc.pairIdxepoch[code] = sc.pairEpoch
+	sc.pairIdx[code] = int32(oi)
+	sc.pairOrder = append(sc.pairOrder, pairKey{p: p, q: q})
+	sc.pairCounts = append(sc.pairCounts, 0)
+	return oi
+}
+
+// getPS hands out a pooled pair state with weights sized to n floats and seq
+// sized to count ints, both uninitialized (their producers overwrite every
+// element before any read).
+func (sc *phaseScratch) getPS(key pairKey, count, n int) *pairState {
+	if sc.psUsed == len(sc.psPool) {
+		sc.psPool = append(sc.psPool, &pairState{})
+	}
+	ps := sc.psPool[sc.psUsed]
+	sc.psUsed++
+	ps.key = key
+	ps.count = count
+	ps.weights = growFloats(ps.weights, n)
+	ps.seq = growInts(ps.seq, count)
+	return ps
+}
+
+// dense is an epoch-stamped sparse-to-dense integer counter over local
+// vertex indices: reset is O(1), add/get are O(1), and iteration visits the
+// touched indices in first-touch order. It replaces the per-call
+// map[int]int instances of the count-collection protocol.
+type dense struct {
+	val     []int
+	epoch   []uint32
+	cur     uint32
+	touched []int
+}
+
+func newDense(n int) dense {
+	return dense{val: make([]int, n), epoch: make([]uint32, n)}
+}
+
+func (d *dense) reset() {
+	d.cur++
+	if d.cur == 0 {
+		clear(d.epoch)
+		d.cur = 1
+	}
+	d.touched = d.touched[:0]
+}
+
+func (d *dense) add(i, c int) {
+	if d.epoch[i] != d.cur {
+		d.epoch[i] = d.cur
+		d.val[i] = 0
+		d.touched = append(d.touched, i)
+	}
+	d.val[i] += c
+}
+
+func (d *dense) get(i int) int {
+	if d.epoch[i] != d.cur {
+		return 0
+	}
+	return d.val[i]
+}
+
+// stamp is an epoch-stamped set over local vertex indices: O(1) reset,
+// mark, and membership.
+type stamp struct {
+	epoch []uint32
+	cur   uint32
+}
+
+func newStamp(n int) stamp {
+	return stamp{epoch: make([]uint32, n)}
+}
+
+func (s *stamp) reset() {
+	s.cur++
+	if s.cur == 0 {
+		clear(s.epoch)
+		s.cur = 1
+	}
+}
+
+func (s *stamp) has(i int) bool { return s.epoch[i] == s.cur }
+
+// mark stamps i and reports whether it was newly marked.
+func (s *stamp) mark(i int) bool {
+	if s.epoch[i] == s.cur {
+		return false
+	}
+	s.epoch[i] = s.cur
+	return true
+}
+
+// growFloats returns s resized to n without preserving contents,
+// reallocating only when capacity is short.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInts is growFloats for int slices.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growPairKeys is growFloats for pairKey slices.
+func growPairKeys(s []pairKey, n int) []pairKey {
+	if cap(s) < n {
+		return make([]pairKey, n)
+	}
+	return s[:n]
+}

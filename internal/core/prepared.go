@@ -120,16 +120,16 @@ func prepare(g *graph.Graph, cfg Config, ext *phasecache.Cache, extOwned bool, s
 	if err != nil {
 		return nil, err
 	}
-	smat, err := schur.Transition(g, sub)
+	smat, err := schur.TransitionWorkers(g, sub, cfg.KernelWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("core: schur transition: %w", err)
 	}
-	q, err := schur.ShortcutTransition(g, sub)
+	q, err := schur.ShortcutTransitionWorkers(g, sub, cfg.KernelWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("core: shortcut transition: %w", err)
 	}
 	maxExp := int(math.Log2(float64(cfg.WalkLength)) + 0.5)
-	pd, err := matrix.NewPowerDyadic(smat, maxExp, cfg.TruncDelta)
+	pd, err := matrix.NewPowerDyadicWorkers(smat, maxExp, cfg.TruncDelta, cfg.KernelWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("core: dyadic power table: %w", err)
 	}

@@ -36,7 +36,7 @@ func TestDistributedTruncationMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		sim := clique.MustNew(n)
-		r, err := newPhaseRunner(sim, g, cfg, sub, 0, 0, nil, src.Split(7), &Stats{}, nil, nil)
+		r, err := newPhaseRunner(sim, g, cfg, sub, 0, 0, nil, src.Split(7), &Stats{}, nil, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +118,7 @@ func TestCheckTruncationMonotone(t *testing.T) {
 	}
 	for trial := 0; trial < 10; trial++ {
 		sim := clique.MustNew(8)
-		r, err := newPhaseRunner(sim, g, cfg, sub, 0, 0, nil, src.Split(uint64(trial)), &Stats{}, nil, nil)
+		r, err := newPhaseRunner(sim, g, cfg, sub, 0, 0, nil, src.Split(uint64(trial)), &Stats{}, nil, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

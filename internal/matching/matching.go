@@ -58,24 +58,28 @@ func (Exact) Sample(w *matrix.Matrix, src *prng.Source) ([]int, error) {
 	perm := make([]int, k)
 	remRows := make([]int, k)
 	remCols := make([]int, k)
+	weights := make([]float64, k)
 	for i := range remRows {
 		remRows[i] = i
 		remCols[i] = i
 	}
 	for len(remRows) > 0 {
 		row := remRows[0]
-		sub, err := w.Submatrix(remRows, remCols)
+		sub, err := w.SubmatrixScratch(remRows, remCols)
 		if err != nil {
 			return nil, err
 		}
 		total, err := matrix.Permanent(sub)
 		if err != nil {
+			sub.Release()
 			return nil, err
 		}
 		if total <= 0 {
+			sub.Release()
 			return nil, fmt.Errorf("matching: zero permanent — no positive-weight perfect matching remains")
 		}
-		weights := make([]float64, len(remCols))
+		stepWeights := weights[:len(remCols)]
+		clear(stepWeights)
 		for cj := range remCols {
 			wij := sub.At(0, cj)
 			if wij == 0 {
@@ -83,11 +87,13 @@ func (Exact) Sample(w *matrix.Matrix, src *prng.Source) ([]int, error) {
 			}
 			minor, err := matrix.PermanentMinor(sub, 0, cj)
 			if err != nil {
+				sub.Release()
 				return nil, err
 			}
-			weights[cj] = wij * minor
+			stepWeights[cj] = wij * minor
 		}
-		choice, err := src.WeightedIndex(weights)
+		sub.Release()
+		choice, err := src.WeightedIndex(stepWeights)
 		if err != nil {
 			return nil, fmt.Errorf("matching: conditional distribution empty at row %d: %w", row, err)
 		}

@@ -147,7 +147,7 @@ func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
 	}
 	out := MustNew(m.rows, o.cols)
-	mulAccum(out, m, o)
+	mulRows(out, m, o, 0, m.rows)
 	return out, nil
 }
 
@@ -155,6 +155,14 @@ func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
 // product's shape and must not alias a or b. It is Mul without the output
 // allocation — the allocation-lean form for callers holding scratch buffers.
 func MulInto(dst, a, b *Matrix) error {
+	if err := checkMulInto(dst, a, b); err != nil {
+		return err
+	}
+	mulRows(dst, a, b, 0, a.rows)
+	return nil
+}
+
+func checkMulInto(dst, a, b *Matrix) error {
 	if a.cols != b.rows {
 		return fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols)
 	}
@@ -164,10 +172,6 @@ func MulInto(dst, a, b *Matrix) error {
 	if sameBacking(dst, a) || sameBacking(dst, b) {
 		return fmt.Errorf("matrix: MulInto dst aliases an operand")
 	}
-	for i := range dst.data {
-		dst.data[i] = 0
-	}
-	mulAccum(dst, a, b)
 	return nil
 }
 
@@ -176,24 +180,6 @@ func MulInto(dst, a, b *Matrix) error {
 // but never across Matrix values), so comparing the first elements suffices.
 func sameBacking(x, y *Matrix) bool {
 	return len(x.data) > 0 && len(y.data) > 0 && &x.data[0] == &y.data[0]
-}
-
-// mulAccum adds a*b into out (shapes already validated, out zeroed by the
-// caller). ikj ordering: stream rows of b, accumulate into rows of out.
-func mulAccum(out, a, b *Matrix) {
-	for i := 0; i < a.rows; i++ {
-		mi := a.Row(i)
-		oi := out.Row(i)
-		for k, f := range mi {
-			if f == 0 {
-				continue
-			}
-			bk := b.Row(k)
-			for j, v := range bk {
-				oi[j] += f * v
-			}
-		}
-	}
 }
 
 // MulVec returns the matrix-vector product m*v.

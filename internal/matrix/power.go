@@ -70,6 +70,15 @@ type PowerDyadic struct {
 // O(log(1/delta))-bit fixed-point words of Lemma 7; the resulting matrices
 // under-approximate the true powers entrywise.
 func NewPowerDyadic(m *Matrix, maxExp int, delta float64) (*PowerDyadic, error) {
+	return NewPowerDyadicWorkers(m, maxExp, delta, 1)
+}
+
+// NewPowerDyadicWorkers is NewPowerDyadic with each squaring's output rows
+// computed by up to workers goroutines. The squarings themselves are
+// sequentially dependent (M^(2^e) is the square of M^(2^(e-1))), so the
+// parallelism lives inside each product, in disjoint row panels; the table
+// is byte-identical to NewPowerDyadic's for every worker count.
+func NewPowerDyadicWorkers(m *Matrix, maxExp int, delta float64, workers int) (*PowerDyadic, error) {
 	if m.rows != m.cols {
 		return nil, fmt.Errorf("matrix: dyadic powers of non-square %dx%d matrix", m.rows, m.cols)
 	}
@@ -83,7 +92,7 @@ func NewPowerDyadic(m *Matrix, maxExp int, delta float64) (*PowerDyadic, error) 
 	}
 	pows[0] = cur
 	for e := 1; e <= maxExp; e++ {
-		next, err := cur.Mul(cur)
+		next, err := cur.MulWorkers(cur, workers)
 		if err != nil {
 			return nil, err
 		}

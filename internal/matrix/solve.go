@@ -17,15 +17,58 @@ type LU struct {
 // matrix. It returns an error if the matrix is not square or is singular to
 // working precision.
 func Factor(a *Matrix) (*LU, error) {
+	return newFactor(a, false, 1)
+}
+
+// FactorWorkers is Factor with the trailing-block updates of the blocked
+// elimination computed by up to workers goroutines. The factorization is
+// byte-identical to Factor's for every worker count.
+func FactorWorkers(a *Matrix, workers int) (*LU, error) {
+	return newFactor(a, false, workers)
+}
+
+// newFactor is the single entry point behind Factor, FactorScratch, and
+// their worker variants: it validates squareness, materializes the working
+// copy (heap clone or scratch-pool draw), and runs the one shared
+// elimination. Every factorization in this package goes through
+// factorInPlace — there is exactly one elimination implementation per
+// kernel variant.
+func newFactor(a *Matrix, scratch bool, workers int) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("matrix: LU of non-square %dx%d matrix", a.rows, a.cols)
 	}
-	return factorInPlace(a.Clone())
+	var work *Matrix
+	if scratch {
+		work = Scratch(a.rows, a.cols)
+		copy(work.data, a.data)
+	} else {
+		work = a.Clone()
+	}
+	f, err := factorInPlace(work, workers)
+	if err != nil && scratch {
+		work.Release()
+	}
+	return f, err
 }
 
 // factorInPlace runs the pivoted elimination destructively on lu, which the
-// returned LU takes ownership of.
-func factorInPlace(lu *Matrix) (*LU, error) {
+// returned LU takes ownership of. It dispatches on the selected kernel; the
+// two implementations produce byte-identical factorizations (values, perm,
+// and sign) and fail at the same column on singular input.
+func factorInPlace(lu *Matrix, workers int) (*LU, error) {
+	if ActiveKernel() == KernelScalar {
+		return factorInPlaceScalar(lu)
+	}
+	return factorInPlaceBlocked(lu, workers)
+}
+
+// factorInPlaceScalar is the original unblocked right-looking elimination.
+// Its operation order is the factorization's bit-exactness contract: at each
+// column, pivot by first strict maximum of |entry| scanning down, swap full
+// rows, divide to form multipliers, then subtract f*pivotRow from each lower
+// row (skipping f == 0). Per element the updates land in ascending column
+// order; factorInPlaceBlocked reproduces that sequence exactly.
+func factorInPlaceScalar(lu *Matrix) (*LU, error) {
 	n := lu.rows
 	perm := make([]int, n)
 	for i := range perm {
@@ -67,6 +110,137 @@ func factorInPlace(lu *Matrix) (*LU, error) {
 		}
 	}
 	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+// luPanel is the column-panel width of the blocked elimination. 32 columns
+// keep a panel's U rows (32 x trailing) plus the 4-row multiplier stripes
+// comfortably inside L1 during the trailing update.
+const luPanel = 32
+
+// factorInPlaceBlocked is the column-panel elimination. Each panel is
+// factored with the scalar algorithm restricted to its own columns
+// (pivoting over full rows, so swaps land at exactly the scalar schedule's
+// points), then the deferred updates are applied to the trailing columns in
+// ascending panel-column order: first the panel rows (the U12 block, a
+// forward-substitution sweep), then the remaining rows (the A22 block),
+// register-tiled and partitioned across workers by row. Because every
+// element still receives its update terms in ascending column order with
+// the same multipliers and the same f == 0 skips, the factorization is
+// byte-identical to the scalar one — the deferral only reorders work across
+// elements, never within one.
+func factorInPlaceBlocked(lu *Matrix, workers int) (*LU, error) {
+	n := lu.rows
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1.0
+	for c0 := 0; c0 < n; c0 += luPanel {
+		c1 := c0 + luPanel
+		if c1 > n {
+			c1 = n
+		}
+		// Panel factorization: scalar elimination restricted to columns
+		// [c0, c1), full-row pivot swaps, updates deferred for j >= c1.
+		for col := c0; col < c1; col++ {
+			p := col
+			maxAbs := math.Abs(lu.At(col, col))
+			for r := col + 1; r < n; r++ {
+				if a := math.Abs(lu.At(r, col)); a > maxAbs {
+					maxAbs = a
+					p = r
+				}
+			}
+			if maxAbs == 0 {
+				return nil, fmt.Errorf("matrix: singular matrix in LU at column %d", col)
+			}
+			if p != col {
+				rp, rc := lu.Row(p), lu.Row(col)
+				for j := 0; j < n; j++ {
+					rp[j], rc[j] = rc[j], rp[j]
+				}
+				perm[p], perm[col] = perm[col], perm[p]
+				sign = -sign
+			}
+			pivot := lu.At(col, col)
+			for r := col + 1; r < n; r++ {
+				f := lu.At(r, col) / pivot
+				lu.Set(r, col, f)
+				if f == 0 {
+					continue
+				}
+				rr, rc := lu.Row(r), lu.Row(col)
+				for j := col + 1; j < c1; j++ {
+					rr[j] -= f * rc[j]
+				}
+			}
+		}
+		if c1 == n {
+			break
+		}
+		// U12: the panel rows' trailing columns, updates applied in the
+		// ascending column order the scalar schedule used (row r receives
+		// columns c0..r-1).
+		for col := c0; col < c1; col++ {
+			rc := lu.Row(col)
+			for r := col + 1; r < c1; r++ {
+				f := lu.At(r, col)
+				if f == 0 {
+					continue
+				}
+				rr := lu.Row(r)
+				for j := c1; j < n; j++ {
+					rr[j] -= f * rc[j]
+				}
+			}
+		}
+		// A22: each remaining row accumulates all panel columns' updates in
+		// registers, rows partitioned across workers (disjoint writes).
+		rows := n - c1
+		flops := 2 * int64(c1-c0) * int64(n-c1)
+		runRows(rows, workers, flops, func(lo, hi int) {
+			for r := c1 + lo; r < c1+hi; r++ {
+				trailingUpdateRow(lu, r, c0, c1, n)
+			}
+		})
+	}
+	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+// trailingUpdateRow applies the deferred panel updates to row r's trailing
+// columns [c1, n): acc -= f_c * U[c][j] for panel columns c in ascending
+// order, four j-columns per register tile. Per element this is exactly the
+// scalar schedule's update sequence for row r (steps c0..c1-1, f == 0
+// skipped), so the result is bit-identical.
+func trailingUpdateRow(lu *Matrix, r, c0, c1, n int) {
+	rr := lu.Row(r)
+	j := c1
+	for ; j+4 <= n; j += 4 {
+		acc0, acc1, acc2, acc3 := rr[j], rr[j+1], rr[j+2], rr[j+3]
+		for c := c0; c < c1; c++ {
+			f := rr[c]
+			if f == 0 {
+				continue
+			}
+			uc := lu.Row(c)
+			acc0 -= f * uc[j]
+			acc1 -= f * uc[j+1]
+			acc2 -= f * uc[j+2]
+			acc3 -= f * uc[j+3]
+		}
+		rr[j], rr[j+1], rr[j+2], rr[j+3] = acc0, acc1, acc2, acc3
+	}
+	for ; j < n; j++ {
+		acc := rr[j]
+		for c := c0; c < c1; c++ {
+			f := rr[c]
+			if f == 0 {
+				continue
+			}
+			acc -= f * lu.At(c, j)
+		}
+		rr[j] = acc
+	}
 }
 
 // Det returns the determinant from the factorization.
@@ -140,17 +314,123 @@ func (f *LU) SolveInto(x, b []float64) error {
 // the scratch pool; pair it with LU.Release when the factorization is
 // transient (one elimination pass, then discarded).
 func FactorScratch(a *Matrix) (*LU, error) {
-	if a.rows != a.cols {
-		return nil, fmt.Errorf("matrix: LU of non-square %dx%d matrix", a.rows, a.cols)
+	return newFactor(a, true, 1)
+}
+
+// FactorScratchWorkers is FactorScratch with the trailing-block updates
+// computed by up to workers goroutines; byte-identical for every count.
+func FactorScratchWorkers(a *Matrix, workers int) (*LU, error) {
+	return newFactor(a, true, workers)
+}
+
+// SolveBatchInto solves A*X = B for a whole batch of right-hand sides at
+// once: the columns of b are independent systems and column j of x receives
+// the solution of A*x = b[:,j]. Per column the substitutions perform exactly
+// SolveInto's operation sequence (dot product accumulated in ascending index
+// order, then one subtraction / one division), so the batch solve is
+// bit-identical to column-by-column SolveInto calls — it amortizes the walk
+// over the factorization's rows across the batch instead. x and b must be
+// n x m with n the factored dimension; x may be b itself (in-place) but must
+// not partially overlap it, and must not alias the factorization. Columns
+// are partitioned across up to workers goroutines (disjoint writes, so
+// results are byte-identical for every worker count).
+func (f *LU) SolveBatchInto(x, b *Matrix, workers int) error {
+	n := f.lu.rows
+	if b.rows != n {
+		return fmt.Errorf("matrix: batch solve rhs is %dx%d, want %d rows", b.rows, b.cols, n)
 	}
-	work := Scratch(a.rows, a.cols)
-	copy(work.data, a.data)
-	f, err := factorInPlace(work)
-	if err != nil {
-		work.Release()
-		return nil, err
+	if x.rows != n || x.cols != b.cols {
+		return fmt.Errorf("matrix: batch solve destination is %dx%d, want %dx%d", x.rows, x.cols, n, b.cols)
 	}
-	return f, nil
+	if sameBacking(x, f.lu) || sameBacking(b, f.lu) {
+		return fmt.Errorf("matrix: batch solve aliases the factorization")
+	}
+	// Row permutation: x[i] = b[perm[i]]. In place this needs a scratch copy,
+	// exactly like SolveInto's aliased path.
+	if sameBacking(x, b) {
+		tmp := Scratch(n, x.cols)
+		copy(tmp.data, b.data)
+		for i := 0; i < n; i++ {
+			copy(x.Row(i), tmp.Row(f.perm[i]))
+		}
+		tmp.Release()
+	} else {
+		for i := 0; i < n; i++ {
+			copy(x.Row(i), b.Row(f.perm[i]))
+		}
+	}
+	runRows(x.cols, workers, 2*int64(n)*int64(n), func(lo, hi int) {
+		solveColumns(f.lu, x, lo, hi)
+	})
+	return nil
+}
+
+// solveColumns runs forward and back substitution on columns [lo, hi) of the
+// already row-permuted x, four columns per register tile. Per column the
+// arithmetic matches SolveInto exactly: the dot product accumulates in a
+// register over ascending indices and is applied in one subtraction (forward)
+// or folded into one division (back) — never term-by-term into memory, which
+// would round differently.
+func solveColumns(lu, x *Matrix, lo, hi int) {
+	n := lu.rows
+	j := lo
+	for ; j+4 <= hi; j += 4 {
+		// Forward substitution with unit-diagonal L.
+		for i := 1; i < n; i++ {
+			row := lu.Row(i)
+			var s0, s1, s2, s3 float64
+			for k := 0; k < i; k++ {
+				l := row[k]
+				xk := x.Row(k)
+				s0 += l * xk[j]
+				s1 += l * xk[j+1]
+				s2 += l * xk[j+2]
+				s3 += l * xk[j+3]
+			}
+			xi := x.Row(i)
+			xi[j] -= s0
+			xi[j+1] -= s1
+			xi[j+2] -= s2
+			xi[j+3] -= s3
+		}
+		// Back substitution with U.
+		for i := n - 1; i >= 0; i-- {
+			row := lu.Row(i)
+			xi := x.Row(i)
+			s0, s1, s2, s3 := xi[j], xi[j+1], xi[j+2], xi[j+3]
+			for k := i + 1; k < n; k++ {
+				u := row[k]
+				xk := x.Row(k)
+				s0 -= u * xk[j]
+				s1 -= u * xk[j+1]
+				s2 -= u * xk[j+2]
+				s3 -= u * xk[j+3]
+			}
+			d := row[i]
+			xi[j] = s0 / d
+			xi[j+1] = s1 / d
+			xi[j+2] = s2 / d
+			xi[j+3] = s3 / d
+		}
+	}
+	for ; j < hi; j++ {
+		for i := 1; i < n; i++ {
+			row := lu.Row(i)
+			var s float64
+			for k := 0; k < i; k++ {
+				s += row[k] * x.At(k, j)
+			}
+			x.Set(i, j, x.At(i, j)-s)
+		}
+		for i := n - 1; i >= 0; i-- {
+			row := lu.Row(i)
+			s := x.At(i, j)
+			for k := i + 1; k < n; k++ {
+				s -= row[k] * x.At(k, j)
+			}
+			x.Set(i, j, s/row[i])
+		}
+	}
 }
 
 // Release returns the factorization's working matrix to the scratch pool.

@@ -106,7 +106,14 @@ func (Naive) Mul(sim *clique.Sim, a, b *matrix.Matrix) (*matrix.Matrix, error) {
 // distributed algorithm: ceil(n^Alpha) rounds per multiplication. The
 // polylogarithmic factors hidden in the paper's Õ are normalized to 1, like
 // every other constant in the simulator (clique package doc).
-type Fast struct{}
+type Fast struct {
+	// Workers bounds the goroutines computing each local product (disjoint
+	// output row panels; byte-identical results for every value). Zero or
+	// one means sequential. The round charging — the quantity the simulator
+	// studies — never depends on it, and Name deliberately ignores it so
+	// snapshot fingerprints stay stable across worker counts.
+	Workers int
+}
 
 // Name implements Backend.
 func (Fast) Name() string { return "fast" }
@@ -115,7 +122,7 @@ func (Fast) Name() string { return "fast" }
 func (Fast) CostRounds(d int) int { return RoundsFast(d) }
 
 // Mul implements Backend.
-func (Fast) Mul(sim *clique.Sim, a, b *matrix.Matrix) (*matrix.Matrix, error) {
+func (f Fast) Mul(sim *clique.Sim, a, b *matrix.Matrix) (*matrix.Matrix, error) {
 	d, err := checkDims(sim, a, b)
 	if err != nil {
 		return nil, err
@@ -124,7 +131,7 @@ func (Fast) Mul(sim *clique.Sim, a, b *matrix.Matrix) (*matrix.Matrix, error) {
 	if err := sim.ChargeRounds(rounds, "fast-matmul"); err != nil {
 		return nil, err
 	}
-	return a.Mul(b)
+	return a.MulWorkers(b, f.Workers)
 }
 
 // RoundsFast predicts the rounds Fast charges for dimension d.

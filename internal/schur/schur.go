@@ -20,7 +20,15 @@ import (
 // S0[u,v] = P[u,v] + sum_w P[u,w] F[w,v], and S = rownormalize(S0 with the
 // diagonal removed).
 func Transition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
-	s0, err := withReturns(g, sub)
+	return TransitionWorkers(g, sub, 1)
+}
+
+// TransitionWorkers is Transition with the dense factorization and solve
+// work inside the absorbing-chain system fanned across up to workers
+// goroutines. The result is byte-identical to Transition's for every worker
+// count.
+func TransitionWorkers(g *graph.Graph, sub *Subset, workers int) (*matrix.Matrix, error) {
+	s0, err := withReturns(g, sub, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +57,7 @@ func Transition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 // withReturns computes S0[u,v]: the probability that the first vertex of S
 // visited at time >= 1 by a walk from u in S is v (v = u allowed). The
 // returned matrix is drawn from the scratch pool; the caller releases it.
-func withReturns(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
+func withReturns(g *graph.Graph, sub *Subset, workers int) (*matrix.Matrix, error) {
 	if sub.N() != g.N() {
 		return nil, fmt.Errorf("schur: subset universe %d does not match graph size %d", sub.N(), g.N())
 	}
@@ -67,7 +75,7 @@ func withReturns(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 	// F[w][v]: first-hit probability from w in S̄ to v in S.
 	var f *matrix.Matrix
 	if len(comp) > 0 {
-		f, err = firstHit(p, comp, sv)
+		f, err = firstHit(p, comp, sv, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -97,44 +105,34 @@ func withReturns(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 }
 
 // firstHit solves the absorbing-chain system: F = (I - T)^{-1} B where
-// T = P[comp, comp] and B = P[comp, sv]. The returned matrix is drawn from
-// the scratch pool; the caller releases it. Every intermediate lives in the
-// pool too, so repeated phase builds run allocation-lean.
-func firstHit(p *matrix.Matrix, comp, sv []int) (*matrix.Matrix, error) {
+// T = P[comp, comp] and B = P[comp, sv]. All right-hand sides go through one
+// batched substitution over the shared factorization — byte-identical to
+// solving column by column, without re-walking the factor per column. The
+// returned matrix is drawn from the scratch pool; the caller releases it.
+// Every intermediate lives in the pool too, so repeated phase builds run
+// allocation-lean.
+func firstHit(p *matrix.Matrix, comp, sv []int, workers int) (*matrix.Matrix, error) {
 	b, err := p.SubmatrixScratch(comp, sv)
 	if err != nil {
 		return nil, err
 	}
 	defer b.Release()
-	lu, err := factorAbsorbing(p, comp)
+	lu, err := factorAbsorbing(p, comp, workers)
 	if err != nil {
 		return nil, fmt.Errorf("schur: absorbing chain system singular (is S reachable from all of V\\S?): %w", err)
 	}
 	defer lu.Release()
-	c := len(comp)
-	k := len(sv)
-	f := matrix.Scratch(c, k)
-	col := matrix.Scratch(1, c)
-	defer col.Release()
-	x := col.Row(0)
-	for j := 0; j < k; j++ {
-		for i := 0; i < c; i++ {
-			x[i] = b.At(i, j)
-		}
-		if err := lu.SolveInto(x, x); err != nil {
-			f.Release()
-			return nil, err
-		}
-		for i := 0; i < c; i++ {
-			f.Set(i, j, x[i])
-		}
+	f := matrix.Scratch(len(comp), len(sv))
+	if err := lu.SolveBatchInto(f, b, workers); err != nil {
+		f.Release()
+		return nil, err
 	}
 	return f, nil
 }
 
 // factorAbsorbing builds and factors the absorbing-chain system I - P[comp,
 // comp] with scratch-pooled storage. The caller releases the returned LU.
-func factorAbsorbing(p *matrix.Matrix, comp []int) (*matrix.LU, error) {
+func factorAbsorbing(p *matrix.Matrix, comp []int, workers int) (*matrix.LU, error) {
 	t, err := p.SubmatrixScratch(comp, comp)
 	if err != nil {
 		return nil, err
@@ -148,7 +146,7 @@ func factorAbsorbing(p *matrix.Matrix, comp []int) (*matrix.LU, error) {
 		}
 		row[i] += 1
 	}
-	return matrix.FactorScratch(t)
+	return matrix.FactorScratchWorkers(t, workers)
 }
 
 // ComplementGraph builds the weighted graph H = Schur(G, S) of Definition 1
@@ -229,6 +227,13 @@ func ComplementGraph(g *graph.Graph, sub *Subset) (*graph.Graph, error) {
 // range over all of V; the column support is {u} ∪ (V \ S) (only those can
 // precede an S-entry).
 func ShortcutTransition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
+	return ShortcutTransitionWorkers(g, sub, 1)
+}
+
+// ShortcutTransitionWorkers is ShortcutTransition with the dense
+// factorization and solve work fanned across up to workers goroutines. The
+// result is byte-identical to ShortcutTransition's for every worker count.
+func ShortcutTransitionWorkers(g *graph.Graph, sub *Subset, workers int) (*matrix.Matrix, error) {
 	if sub.N() != g.N() {
 		return nil, fmt.Errorf("schur: subset universe %d does not match graph size %d", sub.N(), g.N())
 	}
@@ -270,7 +275,9 @@ func ShortcutTransition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 	// Then Q[u][x] += G[u][x] * absorb[x].
 	// visits = (I - T^T)^{-1} applied per start row: solve transposed
 	// systems so we can reuse one factorization: G = Pcomp * Inv, i.e.
-	// G^T = Inv^T * Pcomp^T, column by column.
+	// G^T = Inv^T * Pcomp^T. All n start vertices are columns of one batched
+	// solve over the shared factorization — byte-identical to solving each
+	// start's system alone, without re-walking the factor n times.
 	c := len(comp)
 	system := matrix.Scratch(c, c)
 	for i := 0; i < c; i++ {
@@ -280,26 +287,29 @@ func ShortcutTransition(g *graph.Graph, sub *Subset) (*matrix.Matrix, error) {
 		}
 		row[i] += 1
 	}
-	lu, err := matrix.FactorScratch(system)
+	lu, err := matrix.FactorScratchWorkers(system, workers)
 	system.Release()
 	if err != nil {
 		return nil, fmt.Errorf("schur: shortcut system singular: %w", err)
 	}
 	defer lu.Release()
-	rhs := matrix.Scratch(1, c)
-	defer rhs.Release()
-	gu := rhs.Row(0)
+	// rhs column u is P[u, comp] — the transposed system's right-hand side
+	// for start vertex u; after the solve gt[wi][u] = G[u][comp[wi]].
+	gt := matrix.Scratch(c, n)
+	defer gt.Release()
+	for wi, w := range comp {
+		row := gt.Row(wi)
+		for u := 0; u < n; u++ {
+			row[u] = p.At(u, w)
+		}
+	}
+	if err := lu.SolveBatchInto(gt, gt, workers); err != nil {
+		return nil, err
+	}
 	for u := 0; u < n; u++ {
-		pu := p.Row(u)
 		for wi, w := range comp {
-			gu[wi] = pu[w]
-		}
-		if err := lu.SolveInto(gu, gu); err != nil {
-			return nil, err
-		}
-		for wi, w := range comp {
-			if gu[wi] != 0 {
-				q.Add(u, w, gu[wi]*absorb[w])
+			if v := gt.At(wi, u); v != 0 {
+				q.Add(u, w, v*absorb[w])
 			}
 		}
 	}

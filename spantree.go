@@ -220,6 +220,26 @@ func WithPhaseCacheMB(mb int) Option {
 	}
 }
 
+// WithKernelWorkers bounds the goroutines used inside each dense kernel
+// call — the matrix squarings and Schur-system solves of Prepare and phase
+// builds — for every sampler built from these options. Parallelism lives in
+// disjoint row panels with no shared accumulation, so trees and Stats are
+// byte-identical for every value; the knob trades CPU for within-sample
+// latency, which matters when a deadline covers one large-n sample rather
+// than many small ones. 0 or 1 means sequential (the default); values above
+// GOMAXPROCS are clamped; negative is rejected. Compose with
+// WithStreamWorkers deliberately: stream workers multiply across samples,
+// kernel workers multiply within one, and their product is the CPU bound.
+func WithKernelWorkers(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("spantree: kernel workers must be >= 0, got %d", n)
+		}
+		o.cfg.KernelWorkers = n
+		return nil
+	}
+}
+
 // WithPhaseCacheTotalMB replaces the per-graph later-phase caches of an
 // Engine with ONE byte-budgeted cache shared by every registered graph and
 // sampler variant — the serving-grade budget: total resident phase state is
